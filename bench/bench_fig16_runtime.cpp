@@ -1,0 +1,60 @@
+// Figure 16: optimization runtime of DPhyp, EA-Prune, EA-All and H1 per
+// relation count (log-scale in the paper).
+//
+// Expected shape: EA-All explodes first (paper: >1 s at 7-8 relations),
+// EA-Prune extends the feasible range by ~3 relations, H1 tracks DPhyp
+// within a small constant factor (paper: ~2.6x), DPhyp stays fastest.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace eadp;
+
+int main(int argc, char** argv) {
+  int queries = BenchQueries(argc, argv, 20);
+  const int max_rels = 15;
+  const int max_rels_prune = 11;
+  const int max_rels_all = 8;
+
+  std::printf("Figure 16: average optimization runtime [ms] "
+              "(%d queries/size)\n", queries);
+  std::printf("%4s %12s %12s %12s %12s %10s\n", "rels", "DPhyp", "H1",
+              "EA-Prune", "EA-All", "H1/DPhyp");
+
+  for (int n = 3; n <= max_rels; ++n) {
+    double dphyp_ms = 0;
+    double h1_ms = 0;
+    double prune_ms = 0;
+    double all_ms = 0;
+    for (int i = 0; i < queries; ++i) {
+      Query q = BenchQuery(n, static_cast<uint64_t>(n) * 200000 + i);
+      dphyp_ms += RunAlgorithm(q, Algorithm::kDphyp).ms;
+      h1_ms += RunAlgorithm(q, Algorithm::kH1).ms;
+      if (n <= max_rels_prune) prune_ms += RunAlgorithm(q, Algorithm::kEaPrune).ms;
+      if (n <= max_rels_all) all_ms += RunAlgorithm(q, Algorithm::kEaAll).ms;
+    }
+    auto avg = [&](double total, bool enabled) {
+      return enabled ? total / queries : -1.0;
+    };
+    double d = avg(dphyp_ms, true);
+    double h = avg(h1_ms, true);
+    double p = avg(prune_ms, n <= max_rels_prune);
+    double a = avg(all_ms, n <= max_rels_all);
+    std::printf("%4d %12.4f %12.4f ", n, d, h);
+    if (p >= 0) {
+      std::printf("%12.4f ", p);
+    } else {
+      std::printf("%12s ", "-");
+    }
+    if (a >= 0) {
+      std::printf("%12.4f ", a);
+    } else {
+      std::printf("%12s ", "-");
+    }
+    std::printf("%10.2f\n", h / d);
+  }
+  std::printf("\n(paper: EA-All feasible to ~7, EA-Prune to ~10-11, H1 a "
+              "constant ~2.6x over DPhyp)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 18: runtime of H2 relative to H1.
+//
+// Expected shape: ratio close to 1, often slightly below — H2 considers
+// fewer plans because eager groupings turn grouping attributes into keys,
+// making upper groupings obsolete, which outweighs the extra eagerness
+// bookkeeping (paper Sec. 5.3).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace eadp;
+
+int main(int argc, char** argv) {
+  int queries = BenchQueries(argc, argv, 30);
+  const int max_rels = 15;
+
+  std::printf("Figure 18: H2 runtime relative to H1 (%d queries/size)\n",
+              queries);
+  std::printf("%4s %12s %12s %12s\n", "rels", "H1 [ms]", "H2 [ms]",
+              "H2/H1");
+  for (int n = 3; n <= max_rels; ++n) {
+    double h1_ms = 0;
+    double h2_ms = 0;
+    for (int i = 0; i < queries; ++i) {
+      Query q = BenchQuery(n, static_cast<uint64_t>(n) * 400000 + i);
+      h1_ms += RunAlgorithm(q, Algorithm::kH1).ms;
+      h2_ms += RunAlgorithm(q, Algorithm::kH2, 1.03).ms;
+    }
+    std::printf("%4d %12.4f %12.4f %12.3f\n", n, h1_ms / queries,
+                h2_ms / queries, h2_ms / h1_ms);
+  }
+  std::printf("\n(paper: nearly identical, H2 often marginally faster)\n");
+  return 0;
+}

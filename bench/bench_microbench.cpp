@@ -1,0 +1,98 @@
+// Component microbenchmarks (google-benchmark): enumerator, conflict
+// detector, plan generators, and the execution engine's grouping.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "conflict/conflict_detector.h"
+#include "exec/operators.h"
+#include "hypergraph/dphyp_enumerator.h"
+#include "queries/data_generator.h"
+
+using namespace eadp;
+
+namespace {
+
+void BM_DphypChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.AddEdge(RelSet::Single(i), RelSet::Single(i + 1), i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountCsgCmpPairs(g));
+  }
+}
+BENCHMARK(BM_DphypChain)->Arg(10)->Arg(15)->Arg(20);
+
+void BM_DphypClique(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Hypergraph g(n);
+  int e = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.AddEdge(RelSet::Single(i), RelSet::Single(j), e++);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountCsgCmpPairs(g));
+  }
+}
+BENCHMARK(BM_DphypClique)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_ConflictDetector(benchmark::State& state) {
+  Query q = BenchQuery(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    ConflictDetector cd(q);
+    benchmark::DoNotOptimize(cd.hypergraph().edges().size());
+  }
+}
+BENCHMARK(BM_ConflictDetector)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Optimize(benchmark::State& state, Algorithm a) {
+  Query q = BenchQuery(static_cast<int>(state.range(0)), 2);
+  OptimizerOptions options;
+  options.algorithm = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Optimize(q, options).plan);
+  }
+}
+BENCHMARK_CAPTURE(BM_Optimize, dphyp, Algorithm::kDphyp)->Arg(5)->Arg(10);
+BENCHMARK_CAPTURE(BM_Optimize, h1, Algorithm::kH1)->Arg(5)->Arg(10);
+BENCHMARK_CAPTURE(BM_Optimize, h2, Algorithm::kH2)->Arg(5)->Arg(10);
+BENCHMARK_CAPTURE(BM_Optimize, ea_prune, Algorithm::kEaPrune)->Arg(5)->Arg(8);
+
+void BM_GroupByExec(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  Table t({"g", "a"});
+  for (int i = 0; i < rows; ++i) {
+    t.AddRow({Value::Int(i % 50), Value::Int(i)});
+  }
+  std::vector<ExecAggregate> aggs = {
+      ExecAggregate::Simple("s", AggKind::kSum, "a"),
+      ExecAggregate::Simple("c", AggKind::kCountStar)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GroupBy(t, {"g"}, aggs).NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GroupByExec)->Arg(1000)->Arg(10000);
+
+void BM_HashJoinExec(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  Table l({"x"});
+  Table r({"y"});
+  for (int i = 0; i < rows; ++i) {
+    l.AddRow({Value::Int(i % 100)});
+    r.AddRow({Value::Int(i % 100)});
+  }
+  ExecPredicate pred = {{"x", "y", CmpOp::kEq}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InnerJoin(l, r, pred).NumRows());
+  }
+}
+BENCHMARK(BM_HashJoinExec)->Arg(300)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Shared workload driver for the paper-figure benchmarks.
+//
+// Each bench binary regenerates one table/figure of the evaluation
+// (Sec. 5): random operator trees per relation count, optimized with the
+// relevant algorithms, reporting average relative plan costs or runtimes.
+// Sample counts default to laptop-scale (the paper used 10,000 queries per
+// size) and can be raised via the environment variable EADP_BENCH_QUERIES
+// or argv[1].
+
+#ifndef EADP_BENCH_BENCH_UTIL_H_
+#define EADP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "plangen/plangen.h"
+#include "queries/query_generator.h"
+
+namespace eadp {
+
+inline int BenchQueries(int argc, char** argv, int fallback) {
+  if (argc > 1) {
+    int v = std::atoi(argv[1]);
+    if (v > 0) return v;
+  }
+  const char* env = std::getenv("EADP_BENCH_QUERIES");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// Cost and runtime of one algorithm over one query.
+struct RunResult {
+  double cost = 0;
+  double ms = 0;
+  size_t table_plans = 0;
+};
+
+inline RunResult RunAlgorithm(const Query& q, Algorithm a,
+                              double h2_tolerance = 1.03) {
+  OptimizerOptions options;
+  options.algorithm = a;
+  options.h2_tolerance = h2_tolerance;
+  OptimizeResult r = Optimize(q, options);
+  RunResult out;
+  out.cost = r.plan ? r.plan->cost : 0;
+  out.ms = r.stats.optimize_ms;
+  out.table_plans = r.stats.table_plans;
+  return out;
+}
+
+inline Query BenchQuery(int num_relations, uint64_t seed) {
+  GeneratorOptions gen;
+  gen.num_relations = num_relations;
+  return GenerateRandomQuery(gen, seed);
+}
+
+}  // namespace eadp
+
+#endif  // EADP_BENCH_BENCH_UTIL_H_

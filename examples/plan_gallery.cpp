@@ -1,0 +1,42 @@
+// Renders the optimized plans of the TPC-H skeleton queries as Graphviz
+// dot (written to stdout, one digraph per query) together with a JSON
+// summary — fodder for documentation and visual inspection:
+//
+//   ./plan_gallery | csplit - '/^digraph/' '{*}'   # split into .dot files
+
+#include <cstdio>
+
+#include "plangen/plan_explain.h"
+#include "plangen/plangen.h"
+#include "queries/tpch.h"
+
+using namespace eadp;
+
+namespace {
+
+void Show(const char* name, const Query& query) {
+  OptimizerOptions options;
+  options.algorithm = Algorithm::kEaPrune;
+  OptimizeResult ea = Optimize(query, options);
+  options.algorithm = Algorithm::kDphyp;
+  OptimizeResult baseline = Optimize(query, options);
+
+  std::printf("// ===== %s: EA-Prune plan (C_out=%.4g, %d pushed groupings; "
+              "baseline C_out=%.4g)\n",
+              name, ea.plan->cost, ea.plan->PushedGroupingCount(),
+              baseline.plan->cost);
+  std::printf("%s\n", PlanToDot(ea.plan, query.catalog()).c_str());
+  std::printf("// JSON: %s\n\n", PlanToJson(ea.plan, query.catalog()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  Show("Ex", MakeTpchEx());
+  Show("Q1", MakeTpchQ1());
+  Show("Q3", MakeTpchQ3());
+  Show("Q5", MakeTpchQ5());
+  Show("Q10", MakeTpchQ10());
+  Show("Q18", MakeTpchQ18());
+  return 0;
+}

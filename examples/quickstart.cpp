@@ -1,0 +1,71 @@
+// Quickstart: build a query against the public API, optimize it with all
+// five plan generators, and print the resulting plans.
+//
+//   $ ./quickstart
+//
+// The query: orders ⟕ lineitems ON order_id, GROUP BY orders.region with
+// sum(lineitems.amount) and count(*). Classic eager aggregation cannot
+// push the grouping below the outer join; the equivalences of the paper
+// can — the grouped right side is joined with a generalized outer join
+// whose default vector pads unmatched orders with count 1 / NULL partials
+// (Eqv. 14).
+
+#include <cstdio>
+
+#include "plangen/plangen.h"
+
+using namespace eadp;
+
+int main() {
+  // 1. Describe the schema: relations, attributes (with distinct-value
+  //    estimates), and keys.
+  Catalog catalog;
+  int orders = catalog.AddRelation("orders", 100000);
+  int o_region = catalog.AddAttribute(orders, "orders.region", 50);
+  int o_id = catalog.AddAttribute(orders, "orders.order_id", 100000);
+  int lineitems = catalog.AddRelation("lineitems", 5000000);
+  int l_order = catalog.AddAttribute(lineitems, "lineitems.order_id", 100000);
+  int l_amount = catalog.AddAttribute(lineitems, "lineitems.amount", 100000);
+  catalog.DeclareKey(orders, AttrSet::Single(o_id));
+
+  // 2. Build the operator tree: orders ⟕_{order_id} lineitems.
+  JoinPredicate pred;
+  pred.AddEquality(o_id, l_order);
+  auto root = OpTreeNode::Binary(OpKind::kLeftOuter, OpTreeNode::Leaf(orders),
+                                 OpTreeNode::Leaf(lineitems), pred,
+                                 1.0 / 100000);
+
+  // 3. Grouping and aggregation: group by region, sum(amount), count(*).
+  AttrSet group_by;
+  group_by.Add(o_region);
+  AggregateVector aggs(2);
+  aggs[0].output = "total";
+  aggs[0].kind = AggKind::kSum;
+  aggs[0].arg = l_amount;
+  aggs[1].output = "cnt";
+  aggs[1].kind = AggKind::kCountStar;
+
+  Query query = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                                std::move(aggs));
+  query.Canonicalize();
+
+  // 4. Optimize with every algorithm and compare.
+  std::printf("query:\n%s\n", query.ToString().c_str());
+  for (Algorithm a : {Algorithm::kDphyp, Algorithm::kEaAll,
+                      Algorithm::kEaPrune, Algorithm::kH1, Algorithm::kH2}) {
+    OptimizerOptions options;
+    options.algorithm = a;
+    OptimizeResult result = Optimize(query, options);
+    std::printf("=== %-8s  cost=%.6g  (%.3f ms, %llu plans built)\n",
+                AlgorithmName(a), result.plan->cost,
+                result.stats.optimize_ms,
+                static_cast<unsigned long long>(result.stats.plans_built));
+    std::printf("%s\n", result.plan->ToString(query.catalog()).c_str());
+  }
+  std::printf(
+      "The eager plans group the 5M lineitems down to 100k order totals\n"
+      "*before* the outer join; the default vector (count := 1, partial\n"
+      "sum := NULL) keeps orders without lineitems correct. The baseline\n"
+      "pays the full 5M-row join.\n");
+  return 0;
+}

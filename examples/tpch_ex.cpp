@@ -1,0 +1,92 @@
+// The paper's introduction example (Sec. 1): a full outerjoin between
+// (nation ⋈ supplier) and (nation ⋈ customer), grouped by the two nation
+// names. Reorderings of grouping with outer joins were previously unknown,
+// so classic optimizers leave the grouping on top; this library pushes it
+// below the outerjoin on both sides.
+//
+// The example optimizes the query with and without eager aggregation,
+// executes both plans on generated TPC-H-like data, and reports the
+// runtime gap (the paper measured 2140 ms vs 1.51 ms on HyPer).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "plangen/plangen.h"
+#include "queries/tpch.h"
+
+using namespace eadp;
+
+namespace {
+
+double TimeMs(const PlanPtr& plan, const Query& query, const Database& db,
+              size_t* out_rows) {
+  auto start = std::chrono::steady_clock::now();
+  Table result = ExecutePlan(plan, query, db);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  *out_rows = result.NumRows();
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int scale = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  Query query = MakeTpchEx();
+  std::printf("TPC-H example query (paper Sec. 1):\n%s\n",
+              query.ToString().c_str());
+
+  OptimizerOptions options;
+  options.algorithm = Algorithm::kDphyp;
+  OptimizeResult lazy = Optimize(query, options);
+  options.algorithm = Algorithm::kEaPrune;
+  OptimizeResult eager = Optimize(query, options);
+
+  std::printf("baseline plan (DPhyp, no eager aggregation), C_out=%.4g:\n%s\n",
+              lazy.plan->cost, lazy.plan->ToString(query.catalog()).c_str());
+  std::printf("eager plan (EA-Prune), C_out=%.4g:\n%s\n", eager.plan->cost,
+              eager.plan->ToString(query.catalog()).c_str());
+  std::printf("estimated cost ratio: %.1fx\n\n",
+              lazy.plan->cost / eager.plan->cost);
+
+  Database db = MakeExDatabase(query, scale, /*seed=*/1);
+  std::printf("executing on mini TPC-H data (scale %d: %zu suppliers, %zu "
+              "customers)...\n",
+              scale, db.tables[1].NumRows(), db.tables[3].NumRows());
+
+  size_t rows_lazy = 0;
+  size_t rows_eager = 0;
+  double ms_lazy = TimeMs(lazy.plan, query, db, &rows_lazy);
+  double ms_eager = TimeMs(eager.plan, query, db, &rows_eager);
+
+  Table reference = ExecuteCanonical(query, db);
+  ExecutionStats lazy_stats;
+  ExecutionStats eager_stats;
+  Table lazy_result = ExecutePlan(lazy.plan, query, db, &lazy_stats);
+  Table eager_result = ExecutePlan(eager.plan, query, db, &eager_stats);
+  bool ok = Table::BagEquals(lazy_result, reference) &&
+            Table::BagEquals(eager_result, reference);
+
+  std::printf("  baseline execution: %8.2f ms (%zu rows)\n", ms_lazy,
+              rows_lazy);
+  std::printf("  eager execution:    %8.2f ms (%zu rows)\n", ms_eager,
+              rows_eager);
+  std::printf("  speedup:            %8.1fx\n", ms_lazy / ms_eager);
+  std::printf("  results identical:  %s\n", ok ? "yes" : "NO (bug!)");
+
+  std::printf("\nper-operator actual rows (eager plan):\n");
+  for (const auto& n : eager_stats.nodes) {
+    std::printf("  %-60s %10zu rows\n", n.label.c_str(), n.actual);
+  }
+  std::printf("actual C_out: eager %.0f vs baseline %.0f (%.0fx)\n",
+              eager_stats.ActualCout(), lazy_stats.ActualCout(),
+              lazy_stats.ActualCout() /
+                  std::max(1.0, eager_stats.ActualCout()));
+  std::printf("\n(the paper reports 2140 ms vs 1.51 ms on HyPer at SF 1 — "
+              "the shape, a grouping-induced orders-of-magnitude gap, "
+              "reproduces here)\n");
+  return ok ? 0 : 1;
+}

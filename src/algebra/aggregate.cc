@@ -1,0 +1,117 @@
+#include "algebra/aggregate.h"
+
+#include <cassert>
+
+namespace eadp {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      return "count(*)";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kCountNN:
+      return "countNN";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string AggregateFunction::ToString(const std::string& arg_name) const {
+  std::string s = output + ":";
+  if (kind == AggKind::kCountStar) {
+    s += "count(*)";
+  } else {
+    s += AggKindName(kind);
+    s += "(";
+    if (distinct) s += "distinct ";
+    s += arg_name;
+    s += ")";
+  }
+  return s;
+}
+
+bool IsDuplicateAgnostic(const AggregateFunction& f) {
+  if (f.distinct) return true;
+  return f.kind == AggKind::kMin || f.kind == AggKind::kMax;
+}
+
+bool IsDecomposable(const AggregateFunction& f) {
+  if (f.distinct) {
+    // min(distinct)/max(distinct) equal their non-distinct forms and remain
+    // decomposable; sum/count/avg(distinct) are not (Sec. 2.1.2).
+    return f.kind == AggKind::kMin || f.kind == AggKind::kMax;
+  }
+  switch (f.kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+    case AggKind::kCountNN:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return true;
+    case AggKind::kAvg:
+      return false;  // decomposable only after sum/countNN canonicalization
+  }
+  return false;
+}
+
+AggKind InnerDecomposition(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+    case AggKind::kCountNN:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return kind;
+    case AggKind::kAvg:
+      break;
+  }
+  assert(false && "not decomposable");
+  return kind;
+}
+
+AggKind OuterDecomposition(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+    case AggKind::kCountNN:
+    case AggKind::kSum:
+      return AggKind::kSum;
+    case AggKind::kMin:
+      return AggKind::kMin;
+    case AggKind::kMax:
+      return AggKind::kMax;
+    case AggKind::kAvg:
+      break;
+  }
+  assert(false && "not decomposable");
+  return kind;
+}
+
+NullTupleDefault DefaultOnNullTuple(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCountStar:
+      // count(*)(∅) := 1 in the context of outer join defaults (A.5.1).
+      return NullTupleDefault::kOne;
+    case AggKind::kCount:
+    case AggKind::kCountNN:
+      return NullTupleDefault::kZero;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kAvg:
+      return NullTupleDefault::kNull;
+  }
+  return NullTupleDefault::kNull;
+}
+
+}  // namespace eadp

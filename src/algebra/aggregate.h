@@ -1,0 +1,97 @@
+// Aggregate functions and their algebraic properties (paper Sec. 2.1).
+//
+// The eager-aggregation equivalences hinge on three properties of an
+// aggregation vector F:
+//   * splittability (Def. 1): F = F1 ◦ F2 where each part references
+//     attributes of only one join argument. In this library every aggregate
+//     references at most one base attribute, so splitting is by attribute
+//     ownership and is always possible; count(*) (special case S1) can join
+//     either side.
+//   * decomposability (Def. 2): agg(X ∪ Y) = agg2(agg1(X), agg1(Y)).
+//     min/max/sum/count are decomposable, the distinct-sensitive variants
+//     sum(distinct)/count(distinct)/avg(distinct) are not. avg is handled by
+//     canonicalizing it into sum/countNN + a final division (Sec. 2.1.2).
+//   * duplicate sensitivity (Sec. 2.1.3): duplicate-agnostic functions
+//     (min, max, *(distinct)) pass through the ⊗ adjustment unchanged;
+//     duplicate-sensitive ones (sum, count) must be scaled by the count
+//     attribute(s) introduced by groupings on the other side(s).
+
+#ifndef EADP_ALGEBRA_AGGREGATE_H_
+#define EADP_ALGEBRA_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace eadp {
+
+/// The aggregate function kinds understood by the optimizer and executor.
+enum class AggKind {
+  kCountStar,   ///< count(*)
+  kCount,       ///< count(a) — counts non-NULL values of a
+  kCountNN,     ///< countNN(a): alias of count(a); kept distinct for clarity
+                ///< when it appears in avg decompositions (Sec. 2.1.2)
+  kSum,         ///< sum(a)
+  kMin,         ///< min(a)
+  kMax,         ///< max(a)
+  kAvg,         ///< avg(a) — canonicalized to sum/countNN by the optimizer
+};
+
+/// Returns a lower-case name, e.g. "sum".
+const char* AggKindName(AggKind kind);
+
+/// One aggregate function application `output : agg([distinct] arg)` at the
+/// query level. `arg` is a global catalog attribute id, or -1 for count(*).
+struct AggregateFunction {
+  std::string output;   ///< result attribute name, e.g. "b1"
+  AggKind kind = AggKind::kCountStar;
+  int arg = -1;         ///< catalog attribute id; -1 iff kind == kCountStar
+  bool distinct = false;
+
+  /// Renders as e.g. "b1:sum(R0.a)" given the attribute name.
+  std::string ToString(const std::string& arg_name) const;
+};
+
+/// A vector F of aggregate functions (paper notation F = F1 ◦ F2).
+using AggregateVector = std::vector<AggregateFunction>;
+
+/// True iff the function's result is independent of duplicates in its input
+/// (Class D of Yan and Larson). min, max and all distinct-qualified
+/// functions are duplicate agnostic; sum, count, avg are duplicate
+/// sensitive.
+bool IsDuplicateAgnostic(const AggregateFunction& f);
+
+/// True iff the function is decomposable in the sense of Def. 2.
+/// sum/count/countNN/min/max and their non-distinct forms are; the
+/// duplicate-eliminating forms sum(distinct), count(distinct),
+/// avg(distinct) are not. avg itself is decomposable only via its
+/// sum/countNN canonicalization, so this returns false for kAvg — callers
+/// must canonicalize first (Query::Canonicalize does).
+bool IsDecomposable(const AggregateFunction& f);
+
+/// The inner aggregate agg1 of the decomposition agg = agg2 ∘ agg1
+/// (sum→sum, count→count, count(*)→count(*), min→min, max→max).
+/// Precondition: IsDecomposable(f).
+AggKind InnerDecomposition(AggKind kind);
+
+/// The outer aggregate agg2 of the decomposition
+/// (sum→sum, count→sum, count(*)→sum, min→min, max→max).
+/// Precondition: IsDecomposable(f).
+AggKind OuterDecomposition(AggKind kind);
+
+/// The value an aggregate yields on the single null-tuple {⊥}, used for the
+/// default vectors of generalized outer joins (paper Sec. 3, Fig. 3 and the
+/// count(*)({⊥}) := 1 convention of A.5.1).
+enum class NullTupleDefault {
+  kOne,   ///< count(*) over {⊥} = 1
+  kZero,  ///< count(a)/countNN(a) over {⊥} = 0 (a is NULL)
+  kNull,  ///< sum/min/max/avg over {⊥} = NULL
+};
+
+/// Default value of `kind` applied to {⊥} (see NullTupleDefault).
+NullTupleDefault DefaultOnNullTuple(AggKind kind);
+
+}  // namespace eadp
+
+#endif  // EADP_ALGEBRA_AGGREGATE_H_

@@ -1,0 +1,76 @@
+#include "algebra/operator_tree.h"
+
+#include "catalog/catalog.h"
+#include "common/strings.h"
+
+namespace eadp {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kLeftSemi:
+      return "lsemi";
+    case OpKind::kLeftAnti:
+      return "lanti";
+    case OpKind::kLeftOuter:
+      return "louter";
+    case OpKind::kFullOuter:
+      return "fouter";
+    case OpKind::kGroupJoin:
+      return "groupjoin";
+  }
+  return "?";
+}
+
+bool IsCommutative(OpKind kind) {
+  return kind == OpKind::kJoin || kind == OpKind::kFullOuter;
+}
+
+bool LeftOnlyOutput(OpKind kind) {
+  return kind == OpKind::kLeftSemi || kind == OpKind::kLeftAnti ||
+         kind == OpKind::kGroupJoin;
+}
+
+std::unique_ptr<OpTreeNode> OpTreeNode::Leaf(int relation) {
+  auto node = std::make_unique<OpTreeNode>();
+  node->is_leaf = true;
+  node->relation = relation;
+  return node;
+}
+
+std::unique_ptr<OpTreeNode> OpTreeNode::Binary(OpKind kind,
+                                               std::unique_ptr<OpTreeNode> l,
+                                               std::unique_ptr<OpTreeNode> r,
+                                               JoinPredicate pred,
+                                               double selectivity) {
+  auto node = std::make_unique<OpTreeNode>();
+  node->is_leaf = false;
+  node->kind = kind;
+  node->left = std::move(l);
+  node->right = std::move(r);
+  node->predicate = std::move(pred);
+  node->selectivity = selectivity;
+  return node;
+}
+
+RelSet OpTreeNode::Relations() const {
+  if (is_leaf) return RelSet::Single(relation);
+  RelSet s = left->Relations();
+  s.UnionWith(right->Relations());
+  return s;
+}
+
+std::string OpTreeNode::ToString(const Catalog& catalog, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (is_leaf) {
+    return pad + catalog.relation(relation).name + "\n";
+  }
+  std::string s = pad + OpKindName(kind) + " [" +
+                  predicate.ToString(catalog) + "]\n";
+  s += left->ToString(catalog, indent + 1);
+  s += right->ToString(catalog, indent + 1);
+  return s;
+}
+
+}  // namespace eadp

@@ -1,0 +1,78 @@
+// The logical operator tree that represents the *input* query.
+//
+// Queries enter the optimizer as an operator tree over base relations, the
+// way a parser + initial translator would produce them (paper Sec. 4.1: the
+// set of relations, the set of operators, and a hypergraph built from them
+// by the conflict detector). The plan generator then reorders freely within
+// the limits of the conflict rules.
+
+#ifndef EADP_ALGEBRA_OPERATOR_TREE_H_
+#define EADP_ALGEBRA_OPERATOR_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/aggregate.h"
+#include "algebra/predicate.h"
+#include "common/bitset.h"
+
+namespace eadp {
+
+class Catalog;
+
+/// The binary operators of Fig. 1 that can appear as internal nodes of an
+/// input operator tree, plus the unary grouping used at the root.
+enum class OpKind {
+  kJoin,       ///< B   inner join
+  kLeftSemi,   ///< N   left semijoin
+  kLeftAnti,   ///< T   left antijoin
+  kLeftOuter,  ///< E   left outerjoin (generalized with defaults)
+  kFullOuter,  ///< K   full outerjoin (generalized with defaults)
+  kGroupJoin,  ///< Z   left groupjoin (von Bültzingsloewen)
+};
+
+/// Short operator name, e.g. "join", "louter".
+const char* OpKindName(OpKind kind);
+
+/// True for operators where e1 ◦ e2 ≡ e2 ◦ e1 (inner and full outer join).
+bool IsCommutative(OpKind kind);
+
+/// True for operators whose result contains only attributes from the left
+/// input (semijoin, antijoin, groupjoin).
+bool LeftOnlyOutput(OpKind kind);
+
+/// A node of the input operator tree. Leaves carry a base relation index,
+/// internal nodes a binary operator with its predicate.
+struct OpTreeNode {
+  bool is_leaf = false;
+  int relation = -1;  ///< leaf: base relation index
+
+  OpKind kind = OpKind::kJoin;  ///< internal: operator
+  JoinPredicate predicate;      ///< internal: join predicate
+  double selectivity = 1.0;     ///< internal: estimated predicate selectivity
+  /// internal, kGroupJoin only: the aggregation vector F̂ evaluated over the
+  /// join partners of each left tuple; result columns are appended to the
+  /// left tuple.
+  AggregateVector groupjoin_aggs;
+
+  std::unique_ptr<OpTreeNode> left;
+  std::unique_ptr<OpTreeNode> right;
+
+  static std::unique_ptr<OpTreeNode> Leaf(int relation);
+  static std::unique_ptr<OpTreeNode> Binary(OpKind kind,
+                                            std::unique_ptr<OpTreeNode> l,
+                                            std::unique_ptr<OpTreeNode> r,
+                                            JoinPredicate pred,
+                                            double selectivity);
+
+  /// T(node): the set of base relations in this subtree.
+  RelSet Relations() const;
+
+  /// Pretty-prints the subtree (indented, one node per line).
+  std::string ToString(const Catalog& catalog, int indent = 0) const;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_ALGEBRA_OPERATOR_TREE_H_

@@ -1,0 +1,38 @@
+#include "algebra/predicate.h"
+
+#include "catalog/catalog.h"
+#include "common/strings.h"
+
+namespace eadp {
+
+AttrSet JoinPredicate::ReferencedAttrs() const {
+  AttrSet s;
+  for (const auto& eq : eqs_) {
+    s.Add(eq.left_attr);
+    s.Add(eq.right_attr);
+  }
+  return s;
+}
+
+AttrSet JoinPredicate::LeftAttrs() const {
+  AttrSet s;
+  for (const auto& eq : eqs_) s.Add(eq.left_attr);
+  return s;
+}
+
+AttrSet JoinPredicate::RightAttrs() const {
+  AttrSet s;
+  for (const auto& eq : eqs_) s.Add(eq.right_attr);
+  return s;
+}
+
+std::string JoinPredicate::ToString(const Catalog& catalog) const {
+  std::vector<std::string> parts;
+  for (const auto& eq : eqs_) {
+    parts.push_back(catalog.attribute(eq.left_attr).name + "=" +
+                    catalog.attribute(eq.right_attr).name);
+  }
+  return StrJoin(parts, " AND ");
+}
+
+}  // namespace eadp

@@ -1,0 +1,60 @@
+// Join predicates: conjunctions of attribute equalities.
+//
+// The paper's random workload attaches equality join predicates to the
+// internal nodes of random operator trees; TPC-H join predicates are column
+// equalities as well. Equality predicates are null-rejecting on both sides,
+// which enables the footnote conditions of the assoc/l-asscom/r-asscom
+// property tables used by the conflict detector.
+
+#ifndef EADP_ALGEBRA_PREDICATE_H_
+#define EADP_ALGEBRA_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace eadp {
+
+class Catalog;
+
+/// One equality `left_attr = right_attr` between global catalog attributes.
+struct AttrEquality {
+  int left_attr = -1;
+  int right_attr = -1;
+};
+
+/// A conjunction of attribute equalities.
+class JoinPredicate {
+ public:
+  JoinPredicate() = default;
+  explicit JoinPredicate(std::vector<AttrEquality> eqs) : eqs_(std::move(eqs)) {}
+
+  void AddEquality(int left_attr, int right_attr) {
+    eqs_.push_back({left_attr, right_attr});
+  }
+
+  const std::vector<AttrEquality>& equalities() const { return eqs_; }
+  bool empty() const { return eqs_.empty(); }
+
+  /// F(q): all attributes referenced by the predicate.
+  AttrSet ReferencedAttrs() const;
+
+  /// Attributes referenced on the "left" position of each equality.
+  AttrSet LeftAttrs() const;
+  /// Attributes referenced on the "right" position of each equality.
+  AttrSet RightAttrs() const;
+
+  /// Equality predicates reject NULLs on every referenced attribute.
+  bool IsNullRejecting() const { return !eqs_.empty(); }
+
+  /// Renders e.g. "R0.a=R1.b AND R0.c=R1.d".
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  std::vector<AttrEquality> eqs_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_ALGEBRA_PREDICATE_H_

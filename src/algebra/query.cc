@@ -1,0 +1,126 @@
+#include "algebra/query.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace eadp {
+
+Query Query::FromTree(Catalog catalog, std::unique_ptr<OpTreeNode> root,
+                      AttrSet group_by, AggregateVector aggregates) {
+  Query q;
+  q.catalog_ = std::move(catalog);
+  q.group_by_ = group_by;
+  q.aggregates_ = std::move(aggregates);
+  q.all_rels_ = root->Relations();
+  q.root_ = std::move(root);
+  q.Flatten(q.root_.get());
+
+  // Visible relations: walk the tree; right subtrees of semi/anti/group
+  // joins are invisible above the operator.
+  q.visible_rels_ = q.all_rels_;
+  for (const QueryOp& op : q.ops_) {
+    if (LeftOnlyOutput(op.kind)) {
+      q.visible_rels_ = q.visible_rels_.Minus(op.right_rels);
+    }
+  }
+  return q;
+}
+
+void Query::Flatten(const OpTreeNode* node) {
+  if (node->is_leaf) return;
+  Flatten(node->left.get());
+  Flatten(node->right.get());
+  QueryOp op;
+  op.kind = node->kind;
+  op.predicate = node->predicate;
+  op.selectivity = node->selectivity;
+  op.groupjoin_aggs = node->groupjoin_aggs;
+  op.left_rels = node->left->Relations();
+  op.right_rels = node->right->Relations();
+  ops_.push_back(std::move(op));
+}
+
+void Query::Canonicalize() {
+  if (canonicalized_) return;
+  canonicalized_ = true;
+  AggregateVector out;
+  for (const AggregateFunction& f : aggregates_) {
+    if (f.kind == AggKind::kAvg && !f.distinct) {
+      AggregateFunction sum_part;
+      sum_part.output = f.output + "$sum";
+      sum_part.kind = AggKind::kSum;
+      sum_part.arg = f.arg;
+      AggregateFunction cnt_part;
+      cnt_part.output = f.output + "$cnt";
+      cnt_part.kind = AggKind::kCountNN;
+      cnt_part.arg = f.arg;
+      FinalDivision div;
+      div.output = f.output;
+      div.numerator_slot = static_cast<int>(out.size());
+      div.denominator_slot = static_cast<int>(out.size()) + 1;
+      final_divisions_.push_back(div);
+      out.push_back(std::move(sum_part));
+      out.push_back(std::move(cnt_part));
+    } else {
+      out.push_back(f);
+    }
+  }
+  aggregates_ = std::move(out);
+}
+
+RelSet Query::OpSes(const QueryOp& op) const {
+  RelSet ses = catalog_.RelationsOf(op.predicate.ReferencedAttrs());
+  for (const AggregateFunction& f : op.groupjoin_aggs) {
+    if (f.arg >= 0) ses.Add(catalog_.RelationOf(f.arg));
+  }
+  return ses;
+}
+
+AttrSet Query::GroupByPlus(RelSet rels) const {
+  AttrSet own = catalog_.AttributesOf(rels);
+  AttrSet result = group_by_.Intersect(own);
+  for (const QueryOp& op : ops_) {
+    // Pending: the operator has not yet been applied within `rels`. An
+    // operator is applied exactly at the cut where its syntactic
+    // eligibility set (SES) first spans the two sides, so it is pending iff
+    // its SES is not contained in `rels`. (The original subtree relation
+    // sets are NOT the right test: reordering can apply an operator inside
+    // a smaller set than its original subtrees spanned.)
+    RelSet ses = OpSes(op);
+    if (ses.Intersects(rels) && !ses.IsSubsetOf(rels)) {
+      result.UnionWith(op.predicate.ReferencedAttrs().Intersect(own));
+      // A pending groupjoin's aggregate arguments must survive as well.
+      for (const AggregateFunction& f : op.groupjoin_aggs) {
+        if (f.arg >= 0 && own.Contains(f.arg)) result.Add(f.arg);
+      }
+    }
+  }
+  return result;
+}
+
+bool Query::PendingGroupJoinRightIntersects(RelSet rels) const {
+  for (const QueryOp& op : ops_) {
+    if (op.kind != OpKind::kGroupJoin) continue;
+    // Pending: not yet applied within `rels` (SES containment, see above).
+    if (!OpSes(op).IsSubsetOf(rels) && op.right_rels.Intersects(rels)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Query::ToString() const {
+  std::string s = "Query over " + all_rels_.ToString() + "\n";
+  s += "  group by: " + catalog_.AttrSetToString(group_by_) + "\n";
+  std::vector<std::string> aggs;
+  for (const AggregateFunction& f : aggregates_) {
+    aggs.push_back(f.ToString(f.arg >= 0 ? catalog_.attribute(f.arg).name
+                                         : std::string()));
+  }
+  s += "  aggregates: " + StrJoin(aggs, ", ") + "\n";
+  if (root_) s += root_->ToString(catalog_, 1);
+  return s;
+}
+
+}  // namespace eadp

@@ -1,0 +1,77 @@
+#include "cardinality/estimator.h"
+
+#include <limits>
+
+namespace eadp {
+
+double CardinalityEstimator::GroupingCardinality(AttrSet group_attrs,
+                                                 double input_card) const {
+  if (input_card <= 1) return input_card;
+  // Schema functional dependencies: if a declared key of relation R is
+  // contained in the grouping attributes, R's other attributes are
+  // functionally determined and contribute no extra combinations
+  // (e.g. grouping by {o_orderkey, o_orderdate}: the key o_orderkey
+  // determines o_orderdate).
+  AttrSet effective = group_attrs;
+  for (int r : BitsOf(catalog_->RelationsOf(group_attrs))) {
+    const RelationDef& def = catalog_->relation(r);
+    for (AttrSet key : def.keys) {
+      if (key.IsSubsetOf(group_attrs)) {
+        effective = effective.Minus(def.attributes.Minus(key));
+        break;
+      }
+    }
+  }
+  double combinations = 1;
+  for (int a : BitsOf(effective)) {
+    combinations *= DistinctInCard(a, input_card);
+    if (combinations >= input_card) return input_card;
+  }
+  return std::min(combinations, input_card);
+}
+
+double CardinalityEstimator::JoinCardinality(OpKind kind, double left_card,
+                                             double right_card,
+                                             double selectivity,
+                                             double right_match_distinct) const {
+  double inner = left_card * right_card * selectivity;
+  if (right_match_distinct < 0) right_match_distinct = right_card;
+  switch (kind) {
+    case OpKind::kJoin:
+      return inner;
+    case OpKind::kLeftSemi: {
+      // P(left tuple has >= 1 partner) ~ min(1, sel * #distinct right join
+      // values) — invariant under grouping of the right side.
+      double match_prob = std::min(1.0, selectivity * right_match_distinct);
+      return left_card * match_prob;
+    }
+    case OpKind::kLeftAnti: {
+      double match_prob = std::min(1.0, selectivity * right_match_distinct);
+      return left_card * (1.0 - match_prob);
+    }
+    case OpKind::kLeftOuter:
+      // Matched pairs plus one row for every unmatched left tuple.
+      return std::max(inner, left_card);
+    case OpKind::kFullOuter: {
+      double unmatched_left = std::max(0.0, left_card - inner);
+      double unmatched_right = std::max(0.0, right_card - inner);
+      return inner + unmatched_left + unmatched_right;
+    }
+    case OpKind::kGroupJoin:
+      return left_card;  // exactly one output row per left tuple
+  }
+  return inner;
+}
+
+double CardinalityEstimator::KeyImpliedBound(
+    const std::vector<AttrSet>& keys) const {
+  double bound = std::numeric_limits<double>::infinity();
+  for (AttrSet key : keys) {
+    double combinations = 1;
+    for (int a : BitsOf(key)) combinations *= catalog_->DistinctOf(a);
+    bound = std::min(bound, combinations);
+  }
+  return bound;
+}
+
+}  // namespace eadp

@@ -1,0 +1,61 @@
+// Cardinality estimation.
+//
+// The plan generators need estimates for (a) join results under the
+// independence assumption with per-predicate selectivities, (b) the output
+// of a grouping operator, i.e. the number of distinct value combinations of
+// the grouping attributes in the input. Distinct counts are taken from the
+// catalog and capped by the input cardinality (the standard uniformity
+// model). The paper's random workloads draw cardinalities and selectivities
+// directly (Sec. 5), which this estimator consumes as-is.
+
+#ifndef EADP_CARDINALITY_ESTIMATOR_H_
+#define EADP_CARDINALITY_ESTIMATOR_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "algebra/operator_tree.h"
+#include "catalog/catalog.h"
+
+namespace eadp {
+
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Base relation cardinality.
+  double BaseCardinality(int rel) const {
+    return catalog_->relation(rel).cardinality;
+  }
+
+  /// Distinct values of attribute `a` within an expression of cardinality
+  /// `card`: min(d(a), card).
+  double DistinctInCard(int attr, double card) const {
+    return std::min(catalog_->DistinctOf(attr), std::max(card, 1.0));
+  }
+
+  /// Output cardinality of Γ over `group_attrs` applied to an input of
+  /// cardinality `input_card`: min(|e|, Π_a min(d(a), |e|)).
+  double GroupingCardinality(AttrSet group_attrs, double input_card) const;
+
+  /// Output cardinality of `kind` with the given input cardinalities and
+  /// combined predicate selectivity. For semijoins and antijoins the match
+  /// probability depends on the number of *distinct* join values on the
+  /// right (`right_match_distinct`), not the raw row count — grouping the
+  /// right side must not change existence semantics or its estimate.
+  double JoinCardinality(OpKind kind, double left_card, double right_card,
+                         double selectivity,
+                         double right_match_distinct = -1) const;
+
+  /// Upper bound on a duplicate-free result's cardinality implied by its
+  /// candidate keys: min over keys of Π d(attr). Keys certify uniqueness,
+  /// so no consistent estimate may exceed this bound.
+  double KeyImpliedBound(const std::vector<AttrSet>& keys) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_CARDINALITY_ESTIMATOR_H_

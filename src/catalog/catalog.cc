@@ -1,0 +1,56 @@
+#include "catalog/catalog.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace eadp {
+
+int Catalog::AddRelation(const std::string& name, double cardinality) {
+  assert(relations_.size() < 64 && "at most 64 relations per query");
+  RelationDef def;
+  def.name = name;
+  def.cardinality = cardinality;
+  relations_.push_back(def);
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+int Catalog::AddAttribute(int rel, const std::string& name, double distinct) {
+  assert(rel >= 0 && rel < num_relations());
+  assert(attributes_.size() < 64 && "at most 64 attributes per query");
+  AttributeDef def;
+  def.name = name;
+  def.relation = rel;
+  def.distinct = distinct;
+  attributes_.push_back(def);
+  int id = static_cast<int>(attributes_.size()) - 1;
+  relations_[rel].attributes.Add(id);
+  return id;
+}
+
+void Catalog::DeclareKey(int rel, AttrSet key_attrs) {
+  assert(rel >= 0 && rel < num_relations());
+  assert(relations_[rel].attributes.ContainsAll(key_attrs));
+  relations_[rel].keys.push_back(key_attrs);
+  relations_[rel].duplicate_free = true;
+}
+
+RelSet Catalog::RelationsOf(AttrSet attrs) const {
+  RelSet rels;
+  for (int a : BitsOf(attrs)) rels.Add(attributes_[a].relation);
+  return rels;
+}
+
+AttrSet Catalog::AttributesOf(RelSet rels) const {
+  AttrSet attrs;
+  for (int r : BitsOf(rels)) attrs.UnionWith(relations_[r].attributes);
+  return attrs;
+}
+
+std::string Catalog::AttrSetToString(AttrSet attrs) const {
+  std::vector<std::string> names;
+  for (int a : BitsOf(attrs)) names.push_back(attributes_[a].name);
+  return StrJoin(names, ",");
+}
+
+}  // namespace eadp

@@ -1,0 +1,80 @@
+// Schema catalog: relations, attributes, declared keys and statistics.
+//
+// A Catalog describes the inputs of one query: every base relation with its
+// cardinality and declared keys, and every attribute with its estimated
+// number of distinct values. Attributes are numbered globally across the
+// whole query (at most 64 per query), so sets of attributes are plain
+// Bitset64 values, mirroring the relation sets used by the enumerator.
+
+#ifndef EADP_CATALOG_CATALOG_H_
+#define EADP_CATALOG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace eadp {
+
+/// One column of a base relation.
+struct AttributeDef {
+  std::string name;     ///< e.g. "R1.a"
+  int relation = -1;    ///< index of the owning relation in the catalog
+  double distinct = 1;  ///< estimated number of distinct values
+};
+
+/// One base relation.
+struct RelationDef {
+  std::string name;            ///< e.g. "customer"
+  double cardinality = 1;      ///< estimated row count
+  AttrSet attributes;          ///< global attribute ids owned by this relation
+  std::vector<AttrSet> keys;   ///< declared keys (each a set of attributes)
+
+  /// SQL primary key / uniqueness declarations imply the relation is
+  /// duplicate-free (paper Sec. 3.2, Remark). Relations without keys are
+  /// treated as bags that may contain duplicates.
+  bool duplicate_free = false;
+};
+
+/// The schema for one query. Cheap to copy; typically built once per query.
+class Catalog {
+ public:
+  /// Adds a relation with the given name and cardinality; returns its index.
+  int AddRelation(const std::string& name, double cardinality);
+
+  /// Adds an attribute to relation `rel`; returns its global attribute id.
+  int AddAttribute(int rel, const std::string& name, double distinct);
+
+  /// Declares `key_attrs` (attributes of `rel`) as a key of `rel` and marks
+  /// the relation duplicate-free.
+  void DeclareKey(int rel, AttrSet key_attrs);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+
+  const RelationDef& relation(int r) const { return relations_[r]; }
+  const AttributeDef& attribute(int a) const { return attributes_[a]; }
+
+  /// The relation owning attribute `a`.
+  int RelationOf(int a) const { return attributes_[a].relation; }
+
+  /// The set of relations that own at least one attribute in `attrs`.
+  RelSet RelationsOf(AttrSet attrs) const;
+
+  /// All attributes owned by the relations in `rels`.
+  AttrSet AttributesOf(RelSet rels) const;
+
+  /// Distinct-value estimate for attribute `a`.
+  double DistinctOf(int a) const { return attributes_[a].distinct; }
+
+  /// Human-readable attribute list, e.g. "R0.a,R1.b".
+  std::string AttrSetToString(AttrSet attrs) const;
+
+ private:
+  std::vector<RelationDef> relations_;
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_CATALOG_CATALOG_H_

@@ -1,0 +1,89 @@
+#include "catalog/functional_dependency.h"
+
+#include <algorithm>
+
+namespace eadp {
+
+void FdSet::AddAll(const FdSet& other) {
+  fds_.insert(fds_.end(), other.fds_.begin(), other.fds_.end());
+}
+
+AttrSet FdSet::Closure(AttrSet attrs) const {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fd : fds_) {
+      if (closure.ContainsAll(fd.lhs) && !closure.ContainsAll(fd.rhs)) {
+        closure.UnionWith(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+std::vector<AttrSet> FdSet::CandidateKeys(AttrSet universe) const {
+  std::vector<AttrSet> keys;
+  if (!IsSuperkey(universe, universe)) return keys;  // cannot happen, but safe
+  // Start from the universe and greedily shrink along every order; to stay
+  // exact we do a BFS over superkeys, keeping minimal ones.
+  std::vector<AttrSet> frontier = {universe};
+  std::vector<AttrSet> seen = {universe};
+  while (!frontier.empty()) {
+    std::vector<AttrSet> next;
+    for (AttrSet sk : frontier) {
+      bool shrank = false;
+      for (int a : BitsOf(sk)) {
+        AttrSet candidate = sk;
+        candidate.Remove(a);
+        if (IsSuperkey(candidate, universe)) {
+          shrank = true;
+          if (std::find(seen.begin(), seen.end(), candidate) == seen.end()) {
+            seen.push_back(candidate);
+            next.push_back(candidate);
+          }
+        }
+      }
+      if (!shrank) InsertMinimalKey(keys, sk);
+    }
+    frontier = std::move(next);
+  }
+  return keys;
+}
+
+bool FdSet::Covers(const FdSet& other) const {
+  for (const auto& fd : other.fds()) {
+    if (!Implies(fd.lhs, fd.rhs)) return false;
+  }
+  return true;
+}
+
+bool KeysDominate(const std::vector<AttrSet>& a,
+                  const std::vector<AttrSet>& b) {
+  for (AttrSet kb : b) {
+    bool implied = false;
+    for (AttrSet ka : a) {
+      if (ka.IsSubsetOf(kb)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
+}
+
+void InsertMinimalKey(std::vector<AttrSet>& keys, AttrSet key) {
+  for (AttrSet existing : keys) {
+    if (existing.IsSubsetOf(key)) return;  // `key` is redundant
+  }
+  keys.erase(std::remove_if(keys.begin(), keys.end(),
+                            [key](AttrSet existing) {
+                              return key.IsSubsetOf(existing);
+                            }),
+             keys.end());
+  keys.push_back(key);
+}
+
+}  // namespace eadp

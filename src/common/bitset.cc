@@ -1,0 +1,20 @@
+#include "common/bitset.h"
+
+#include <sstream>
+
+namespace eadp {
+
+std::string Bitset64::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (int i : BitsOf(*this)) {
+    if (!first) os << ',';
+    os << i;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace eadp

@@ -1,0 +1,182 @@
+// Small fixed-capacity bitsets used throughout the optimizer.
+//
+// The plan generator manipulates sets of relations and sets of attributes.
+// Queries in this library are bounded to 64 relations and 64 attributes per
+// "attribute universe", which keeps both kinds of sets in a single machine
+// word. This is the same representation DPhyp-style enumerators use in
+// practice; subset enumeration, neighborhood computation and csg-cmp-pair
+// counting all reduce to a handful of bit tricks.
+
+#ifndef EADP_COMMON_BITSET_H_
+#define EADP_COMMON_BITSET_H_
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace eadp {
+
+/// A set over the universe {0, ..., 63}, stored in one machine word.
+///
+/// Used both for sets of relation indices (`RelSet`) and sets of attribute
+/// indices (`AttrSet`). All operations are O(1) except the iteration helpers,
+/// which are O(popcount).
+class Bitset64 {
+ public:
+  constexpr Bitset64() : bits_(0) {}
+  constexpr explicit Bitset64(uint64_t bits) : bits_(bits) {}
+
+  /// The set {i}.
+  static constexpr Bitset64 Single(int i) {
+    assert(i >= 0 && i < 64);
+    return Bitset64(uint64_t{1} << i);
+  }
+
+  /// The set {0, ..., n-1}.
+  static constexpr Bitset64 FirstN(int n) {
+    assert(n >= 0 && n <= 64);
+    return n == 64 ? Bitset64(~uint64_t{0})
+                   : Bitset64((uint64_t{1} << n) - 1);
+  }
+
+  static constexpr Bitset64 Empty() { return Bitset64(); }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr int Count() const { return std::popcount(bits_); }
+
+  constexpr bool Contains(int i) const { return (bits_ >> i) & 1; }
+  constexpr bool ContainsAll(Bitset64 other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Intersects(Bitset64 other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+  constexpr bool IsSubsetOf(Bitset64 other) const {
+    return other.ContainsAll(*this);
+  }
+
+  constexpr Bitset64 Union(Bitset64 o) const { return Bitset64(bits_ | o.bits_); }
+  constexpr Bitset64 Intersect(Bitset64 o) const {
+    return Bitset64(bits_ & o.bits_);
+  }
+  constexpr Bitset64 Minus(Bitset64 o) const {
+    return Bitset64(bits_ & ~o.bits_);
+  }
+
+  constexpr void Add(int i) { bits_ |= uint64_t{1} << i; }
+  constexpr void Remove(int i) { bits_ &= ~(uint64_t{1} << i); }
+  constexpr void UnionWith(Bitset64 o) { bits_ |= o.bits_; }
+
+  /// Index of the lowest set bit. Undefined on the empty set.
+  constexpr int Lowest() const {
+    assert(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  /// The set containing only the lowest element. Undefined on the empty set.
+  constexpr Bitset64 LowestBit() const {
+    assert(!empty());
+    return Bitset64(bits_ & (~bits_ + 1));
+  }
+
+  /// All elements strictly below i: {0, ..., i-1}.
+  static constexpr Bitset64 Below(int i) { return FirstN(i); }
+
+  friend constexpr bool operator==(Bitset64 a, Bitset64 b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(Bitset64 a, Bitset64 b) {
+    return a.bits_ != b.bits_;
+  }
+  /// Arbitrary total order (by word value); used for map keys.
+  friend constexpr bool operator<(Bitset64 a, Bitset64 b) {
+    return a.bits_ < b.bits_;
+  }
+
+  /// Renders as e.g. "{0,3,5}".
+  std::string ToString() const;
+
+ private:
+  uint64_t bits_;
+};
+
+using RelSet = Bitset64;
+using AttrSet = Bitset64;
+
+/// Iterates over the elements of a Bitset64 in increasing order.
+///
+///   for (int i : BitsOf(set)) { ... }
+class BitsOf {
+ public:
+  explicit BitsOf(Bitset64 s) : bits_(s.bits()) {}
+
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    int operator*() const { return std::countr_zero(bits_); }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return bits_ != o.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint64_t bits_;
+};
+
+/// Enumerates all non-empty proper-or-improper subsets of `super` in
+/// increasing word order. Standard "subset of a mask" trick:
+///
+///   for (Bitset64 s : SubsetsOf(super)) { ... }
+///
+/// Yields 2^|super| - 1 sets (the empty set is skipped).
+class SubsetsOf {
+ public:
+  explicit SubsetsOf(Bitset64 super) : mask_(super.bits()) {}
+
+  class Iterator {
+   public:
+    Iterator(uint64_t sub, uint64_t mask, bool done)
+        : sub_(sub), mask_(mask), done_(done) {}
+    Bitset64 operator*() const { return Bitset64(sub_); }
+    Iterator& operator++() {
+      if (sub_ == mask_) {
+        done_ = true;
+      } else {
+        sub_ = (sub_ - mask_) & mask_;
+      }
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const {
+      return done_ != o.done_ || (!done_ && sub_ != o.sub_);
+    }
+
+   private:
+    uint64_t sub_;
+    uint64_t mask_;
+    bool done_;
+  };
+
+  Iterator begin() const {
+    if (mask_ == 0) return end();
+    uint64_t first = (0 - mask_) & mask_;  // lowest bit of mask
+    return Iterator(first, mask_, false);
+  }
+  Iterator end() const { return Iterator(0, mask_, true); }
+
+ private:
+  uint64_t mask_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_COMMON_BITSET_H_

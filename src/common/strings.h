@@ -1,0 +1,22 @@
+// Tiny string helpers (GCC 12 lacks <format>, so we keep a snprintf shim).
+
+#ifndef EADP_COMMON_STRINGS_H_
+#define EADP_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace eadp {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements of `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+}  // namespace eadp
+
+#endif  // EADP_COMMON_STRINGS_H_

@@ -1,0 +1,71 @@
+#include "conflict/operator_properties.h"
+
+namespace eadp {
+
+namespace {
+// Index order must match the checks below.
+constexpr int Index(OpKind k) {
+  switch (k) {
+    case OpKind::kJoin:
+      return 0;
+    case OpKind::kLeftSemi:
+      return 1;
+    case OpKind::kLeftAnti:
+      return 2;
+    case OpKind::kLeftOuter:
+      return 3;
+    case OpKind::kFullOuter:
+      return 4;
+    case OpKind::kGroupJoin:
+      return 5;
+  }
+  return 0;
+}
+
+// Rows: operator a (lower in the tree); columns: operator b (upper).
+// Operators whose result hides the attributes p_b would need (semijoin,
+// antijoin, groupjoin as `a` under assoc; see header) yield structurally
+// ill-formed rewrites and are encoded as false.
+//
+//                       B  N  T  E  K  Z
+constexpr bool kAssoc[6][6] = {
+    /* B */ {true, true, true, true, false, true},
+    /* N */ {false, false, false, false, false, false},
+    /* T */ {false, false, false, false, false, false},
+    /* E */ {false, false, false, true, false, false},
+    /* K */ {false, false, false, true, true, false},
+    /* Z */ {false, false, false, false, false, false},
+};
+
+//                       B  N  T  E  K  Z
+constexpr bool kLeftAsscom[6][6] = {
+    /* B */ {true, true, true, true, false, true},
+    /* N */ {true, true, true, true, false, true},
+    /* T */ {true, true, true, true, false, true},
+    /* E */ {true, true, true, true, false, true},
+    /* K */ {false, false, false, false, true, false},
+    /* Z */ {true, true, true, true, false, true},
+};
+
+//                       B  N  T  E  K  Z
+constexpr bool kRightAsscom[6][6] = {
+    /* B */ {true, false, false, false, false, false},
+    /* N */ {false, false, false, false, false, false},
+    /* T */ {false, false, false, false, false, false},
+    /* E */ {false, false, false, false, false, false},
+    /* K */ {false, false, false, false, true, false},
+    /* Z */ {false, false, false, false, false, false},
+};
+}  // namespace
+
+bool OpAssoc(OpKind a, OpKind b) { return kAssoc[Index(a)][Index(b)]; }
+
+bool OpLeftAsscom(OpKind a, OpKind b) {
+  return kLeftAsscom[Index(a)][Index(b)];
+}
+
+bool OpRightAsscom(OpKind a, OpKind b) {
+  return kRightAsscom[Index(a)][Index(b)];
+}
+
+}  // namespace eadp

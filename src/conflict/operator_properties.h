@@ -1,0 +1,37 @@
+// Reorderability properties of the binary operators.
+//
+// The conflict detector derives its rules from three properties of operator
+// pairs (Moerkotte, Fender & Eich, "On the Correct and Complete Enumeration
+// of the Core Search Space", SIGMOD 2013):
+//
+//   assoc(a, b):     (e1 a e2) b e3  ≡  e1 a (e2 b e3)      p_a on (e1,e2),
+//                                                           p_b on (e2,e3)
+//   l-asscom(a, b):  (e1 a e2) b e3  ≡  (e1 b e3) a e2      p_b on (e1,e3)
+//   r-asscom(a, b):  e1 a (e2 b e3)  ≡  e2 b (e1 a e3)      p_a on (e1,e3)
+//
+// Several entries hold only when the predicates involved reject NULLs on
+// the relevant side; all predicates in this library are conjunctions of
+// equalities, which reject NULLs, so those conditional entries are encoded
+// as enabled. Entries we could not certify from the SIGMOD'13 paper are
+// conservatively disabled: a missing `true` can only shrink the explored
+// search space, never admit an incorrect plan (see DESIGN.md §7).
+
+#ifndef EADP_CONFLICT_OPERATOR_PROPERTIES_H_
+#define EADP_CONFLICT_OPERATOR_PROPERTIES_H_
+
+#include "algebra/operator_tree.h"
+
+namespace eadp {
+
+/// assoc(a, b) assuming null-rejecting predicates.
+bool OpAssoc(OpKind a, OpKind b);
+
+/// l-asscom(a, b) assuming null-rejecting predicates.
+bool OpLeftAsscom(OpKind a, OpKind b);
+
+/// r-asscom(a, b) assuming null-rejecting predicates.
+bool OpRightAsscom(OpKind a, OpKind b);
+
+}  // namespace eadp
+
+#endif  // EADP_CONFLICT_OPERATOR_PROPERTIES_H_

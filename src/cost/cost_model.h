@@ -1,0 +1,34 @@
+// The C_out cost model (paper Sec. 4.4).
+//
+//   C_out(T) = 0                                if T is a single table
+//            = |T| + C_out(T1) + C_out(T2)      if T = T1 ◦ T2
+//            = |T| + C_out(T1)                  if T = Γ(T1)
+//
+// Map (χ) and projection (Π) nodes are free, matching the paper's remark
+// that replacing a top grouping by a projection (Eqv. 42) removes its cost.
+
+#ifndef EADP_COST_COST_MODEL_H_
+#define EADP_COST_COST_MODEL_H_
+
+namespace eadp {
+
+class CostModel {
+ public:
+  /// Cost contribution of an operator node that produces `output_card`
+  /// rows on top of children with the given accumulated costs.
+  double BinaryOpCost(double output_card, double left_cost,
+                      double right_cost) const {
+    return output_card + left_cost + right_cost;
+  }
+
+  double GroupingCost(double output_card, double child_cost) const {
+    return output_card + child_cost;
+  }
+
+  double ScanCost() const { return 0.0; }
+  double MapCost(double child_cost) const { return child_cost; }
+};
+
+}  // namespace eadp
+
+#endif  // EADP_COST_COST_MODEL_H_

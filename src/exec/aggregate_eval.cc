@@ -1,0 +1,165 @@
+#include "exec/aggregate_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace eadp {
+
+BoundAggregate BindAggregate(const ExecAggregate& spec, const Table& table) {
+  BoundAggregate bound;
+  bound.spec = &spec;
+  if (spec.kind != AggKind::kCountStar) {
+    bound.arg_idx = table.RequireColumn(spec.arg);
+  }
+  for (const std::string& m : spec.multipliers) {
+    bound.multiplier_idx.push_back(table.RequireColumn(m));
+  }
+  return bound;
+}
+
+namespace {
+
+/// Product of the multiplier columns for one row. Multiplier columns are
+/// count attributes and must be non-NULL (outer joins install default 1 for
+/// them); a NULL here would indicate a missing default vector.
+double MultiplierProduct(const BoundAggregate& agg, const Row& row) {
+  double prod = 1.0;
+  for (int idx : agg.multiplier_idx) {
+    const Value& v = row[idx];
+    assert(!v.is_null() && "NULL count attribute: missing outer join default");
+    if (!v.is_null()) prod *= v.AsDouble();
+  }
+  return prod;
+}
+
+/// Accumulator that yields int64 results when every input was integral.
+class NumericSum {
+ public:
+  void Add(double v, bool integral) {
+    sum_ += v;
+    all_int_ &= integral;
+    any_ = true;
+  }
+  bool any() const { return any_; }
+  Value Get() const {
+    if (!any_) return Value::Null();
+    if (all_int_ && std::abs(sum_) < 9.0e15) {
+      return Value::Int(static_cast<int64_t>(std::llround(sum_)));
+    }
+    return Value::Double(sum_);
+  }
+  double Raw() const { return sum_; }
+
+ private:
+  double sum_ = 0;
+  bool all_int_ = true;
+  bool any_ = false;
+};
+
+bool IsIntegral(const Value& v) { return v.is_int(); }
+
+}  // namespace
+
+Value EvaluateAggregate(const BoundAggregate& agg, const Table& table,
+                        const std::vector<int>& row_indices) {
+  const ExecAggregate& spec = *agg.spec;
+  const auto& rows = table.rows();
+
+  if (spec.distinct && spec.kind != AggKind::kMin &&
+      spec.kind != AggKind::kMax) {
+    // Duplicate-eliminating aggregates: collect distinct non-NULL values.
+    std::vector<Value> values;
+    for (int r : row_indices) {
+      const Value& v = rows[r][agg.arg_idx];
+      if (v.is_null()) continue;
+      bool seen = false;
+      for (const Value& u : values) {
+        if (Value::GroupEquals(u, v)) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) values.push_back(v);
+    }
+    switch (spec.kind) {
+      case AggKind::kCount:
+      case AggKind::kCountNN:
+        return Value::Int(static_cast<int64_t>(values.size()));
+      case AggKind::kSum: {
+        NumericSum s;
+        for (const Value& v : values) s.Add(v.AsDouble(), IsIntegral(v));
+        return s.Get();
+      }
+      case AggKind::kAvg: {
+        if (values.empty()) return Value::Null();
+        double sum = 0;
+        for (const Value& v : values) sum += v.AsDouble();
+        return Value::Double(sum / static_cast<double>(values.size()));
+      }
+      default:
+        break;
+    }
+    assert(false && "unsupported distinct aggregate");
+    return Value::Null();
+  }
+
+  switch (spec.kind) {
+    case AggKind::kCountStar: {
+      NumericSum s;
+      for (int r : row_indices) {
+        s.Add(MultiplierProduct(agg, rows[r]), true);
+      }
+      return s.any() ? s.Get() : Value::Int(0);
+    }
+    case AggKind::kCount:
+    case AggKind::kCountNN: {
+      NumericSum s;
+      for (int r : row_indices) {
+        const Value& v = rows[r][agg.arg_idx];
+        s.Add(v.is_null() ? 0.0 : MultiplierProduct(agg, rows[r]), true);
+      }
+      return s.any() ? s.Get() : Value::Int(0);
+    }
+    case AggKind::kSum: {
+      NumericSum s;
+      for (int r : row_indices) {
+        const Value& v = rows[r][agg.arg_idx];
+        if (v.is_null()) continue;  // SQL sum ignores NULLs
+        s.Add(v.AsDouble() * MultiplierProduct(agg, rows[r]), IsIntegral(v));
+      }
+      return s.Get();  // NULL when no non-NULL input (SQL semantics)
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      Value best = Value::Null();
+      for (int r : row_indices) {
+        const Value& v = rows[r][agg.arg_idx];
+        if (v.is_null()) continue;
+        if (best.is_null() ||
+            (spec.kind == AggKind::kMin ? Value::Less(v, best)
+                                        : Value::Less(best, v))) {
+          best = v;
+        }
+      }
+      return best;
+    }
+    case AggKind::kAvg: {
+      // Direct evaluation (tests); the optimizer canonicalizes avg away.
+      double sum = 0;
+      double cnt = 0;
+      for (int r : row_indices) {
+        const Value& v = rows[r][agg.arg_idx];
+        if (v.is_null()) continue;
+        double mult = MultiplierProduct(agg, rows[r]);
+        sum += v.AsDouble() * mult;
+        cnt += mult;
+      }
+      if (cnt == 0) return Value::Null();
+      return Value::Double(sum / cnt);
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace eadp

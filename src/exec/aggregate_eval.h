@@ -1,0 +1,63 @@
+// Executable aggregate specifications and their evaluation.
+//
+// An ExecAggregate is the concrete, executable form of an aggregate after
+// the optimizer's rewrites: in addition to the kind/argument/distinct flag
+// of the query-level AggregateFunction it carries a list of *multiplier
+// columns*. These are the `c : count(*)` attributes introduced by pushed-
+// down groupings; duplicate-sensitive aggregates are scaled by their
+// product, which implements the ⊗ adjustment of paper Sec. 2.1.3 (and its
+// n-ary generalization for nested pushes):
+//
+//   sum(a)      ⊗ c1..ck  ->  Σ a · c1 · ... · ck       (NULL a contributes 0)
+//   count(*)    ⊗ c1..ck  ->  Σ c1 · ... · ck
+//   count(a)    ⊗ c1..ck  ->  Σ (a IS NULL ? 0 : c1·...·ck)
+//   min/max/·(distinct)   ->  unchanged (duplicate agnostic)
+
+#ifndef EADP_EXEC_AGGREGATE_EVAL_H_
+#define EADP_EXEC_AGGREGATE_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "algebra/aggregate.h"
+#include "exec/table.h"
+
+namespace eadp {
+
+/// A concrete aggregate over named columns, ready for evaluation.
+struct ExecAggregate {
+  std::string output;             ///< result column name
+  AggKind kind = AggKind::kCountStar;
+  std::string arg;                ///< argument column; empty for count(*)
+  bool distinct = false;
+  std::vector<std::string> multipliers;  ///< count columns (may be empty)
+
+  /// Plain aggregate without multipliers.
+  static ExecAggregate Simple(std::string output, AggKind kind,
+                              std::string arg = {}, bool distinct = false) {
+    ExecAggregate a;
+    a.output = std::move(output);
+    a.kind = kind;
+    a.arg = std::move(arg);
+    a.distinct = distinct;
+    return a;
+  }
+};
+
+/// Bound form of an ExecAggregate: column indexes resolved against a table.
+struct BoundAggregate {
+  const ExecAggregate* spec = nullptr;
+  int arg_idx = -1;                 ///< -1 for count(*)
+  std::vector<int> multiplier_idx;
+};
+
+/// Resolves column names; aborts on missing columns.
+BoundAggregate BindAggregate(const ExecAggregate& spec, const Table& table);
+
+/// Evaluates `agg` over the rows of `table` selected by `row_indices`.
+Value EvaluateAggregate(const BoundAggregate& agg, const Table& table,
+                        const std::vector<int>& row_indices);
+
+}  // namespace eadp
+
+#endif  // EADP_EXEC_AGGREGATE_EVAL_H_

@@ -1,0 +1,480 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace eadp {
+
+namespace {
+
+/// Resolved predicate: column indexes into the two input tables.
+struct BoundPredicate {
+  std::vector<int> left_idx;
+  std::vector<int> right_idx;
+  std::vector<CmpOp> ops;
+  bool all_equality = true;
+};
+
+BoundPredicate Bind(const ExecPredicate& pred, const Table& left,
+                    const Table& right) {
+  BoundPredicate b;
+  for (const ColumnCondition& c : pred) {
+    b.left_idx.push_back(left.RequireColumn(c.left_column));
+    b.right_idx.push_back(right.RequireColumn(c.right_column));
+    b.ops.push_back(c.op);
+    if (c.op != CmpOp::kEq) b.all_equality = false;
+  }
+  return b;
+}
+
+bool Compare(const Value& a, CmpOp op, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;  // SQL: NULL never matches
+  double x = a.AsDouble();
+  double y = b.AsDouble();
+  switch (op) {
+    case CmpOp::kEq:
+      return x == y;
+    case CmpOp::kNe:
+      return x != y;
+    case CmpOp::kLt:
+      return x < y;
+    case CmpOp::kLe:
+      return x <= y;
+    case CmpOp::kGt:
+      return x > y;
+    case CmpOp::kGe:
+      return x >= y;
+  }
+  return false;
+}
+
+bool Matches(const BoundPredicate& p, const Row& l, const Row& r) {
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    if (!Compare(l[p.left_idx[i]], p.ops[i], r[p.right_idx[i]])) return false;
+  }
+  return true;
+}
+
+/// Hash of the key columns of a row; NULL keys are rejected (return false)
+/// because equality predicates never match on NULL.
+bool KeyHash(const Row& row, const std::vector<int>& idx, size_t* hash) {
+  size_t h = 0x12345;
+  for (int i : idx) {
+    const Value& v = row[i];
+    if (v.is_null()) return false;
+    h = h * 1315423911u + v.Hash();
+  }
+  *hash = h;
+  return true;
+}
+
+bool KeyEquals(const Row& a, const std::vector<int>& ai, const Row& b,
+               const std::vector<int>& bi) {
+  for (size_t i = 0; i < ai.size(); ++i) {
+    if (!Value::SqlEquals(a[ai[i]], b[bi[i]])) return false;
+  }
+  return true;
+}
+
+/// Index over the right input for equality predicates: hash -> row indexes.
+using HashIndex = std::unordered_multimap<size_t, int>;
+
+HashIndex BuildIndex(const Table& right, const std::vector<int>& idx) {
+  HashIndex index;
+  index.reserve(right.NumRows());
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    size_t h;
+    if (KeyHash(right.rows()[r], idx, &h)) {
+      index.emplace(h, static_cast<int>(r));
+    }
+  }
+  return index;
+}
+
+/// Calls `fn(right_row_index)` for every right row matching `left_row`.
+template <typename Fn>
+void ForEachMatch(const BoundPredicate& p, const Table& left_table,
+                  const Row& left_row, const Table& right,
+                  const HashIndex* index, Fn fn) {
+  (void)left_table;
+  if (index != nullptr) {
+    size_t h;
+    if (!KeyHash(left_row, p.left_idx, &h)) return;
+    auto range = index->equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (KeyEquals(left_row, p.left_idx, right.rows()[it->second],
+                    p.right_idx)) {
+        fn(it->second);
+      }
+    }
+  } else {
+    for (size_t r = 0; r < right.NumRows(); ++r) {
+      if (Matches(p, left_row, right.rows()[r])) fn(static_cast<int>(r));
+    }
+  }
+}
+
+std::vector<std::string> ConcatColumns(const Table& a, const Table& b) {
+  std::vector<std::string> cols = a.columns();
+  cols.insert(cols.end(), b.columns().begin(), b.columns().end());
+  return cols;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// A padding row for `table`: NULL everywhere except the default entries.
+Row PaddingRow(const Table& table, const DefaultVector& defaults) {
+  Row pad(table.NumColumns(), Value::Null());
+  for (const DefaultEntry& d : defaults) {
+    pad[static_cast<size_t>(table.RequireColumn(d.column))] = d.value;
+  }
+  return pad;
+}
+
+}  // namespace
+
+Table CrossProduct(const Table& left, const Table& right) {
+  Table out(ConcatColumns(left, right));
+  for (const Row& l : left.rows()) {
+    for (const Row& r : right.rows()) out.AddRow(ConcatRows(l, r));
+  }
+  return out;
+}
+
+Table InnerJoin(const Table& left, const Table& right,
+                const ExecPredicate& pred) {
+  if (pred.empty()) return CrossProduct(left, right);
+  BoundPredicate p = Bind(pred, left, right);
+  HashIndex index;
+  bool use_index = p.all_equality;
+  if (use_index) index = BuildIndex(right, p.right_idx);
+  Table out(ConcatColumns(left, right));
+  for (const Row& l : left.rows()) {
+    ForEachMatch(p, left, l, right, use_index ? &index : nullptr,
+                 [&](int r) { out.AddRow(ConcatRows(l, right.rows()[r])); });
+  }
+  return out;
+}
+
+Table LeftSemiJoin(const Table& left, const Table& right,
+                   const ExecPredicate& pred) {
+  BoundPredicate p = Bind(pred, left, right);
+  HashIndex index;
+  bool use_index = p.all_equality && !pred.empty();
+  if (use_index) index = BuildIndex(right, p.right_idx);
+  Table out(left.columns());
+  for (const Row& l : left.rows()) {
+    bool found = pred.empty() && right.NumRows() > 0;
+    if (!found) {
+      ForEachMatch(p, left, l, right, use_index ? &index : nullptr,
+                   [&](int) { found = true; });
+    }
+    if (found) out.AddRow(l);
+  }
+  return out;
+}
+
+Table LeftAntiJoin(const Table& left, const Table& right,
+                   const ExecPredicate& pred) {
+  BoundPredicate p = Bind(pred, left, right);
+  HashIndex index;
+  bool use_index = p.all_equality && !pred.empty();
+  if (use_index) index = BuildIndex(right, p.right_idx);
+  Table out(left.columns());
+  for (const Row& l : left.rows()) {
+    bool found = pred.empty() && right.NumRows() > 0;
+    if (!found) {
+      ForEachMatch(p, left, l, right, use_index ? &index : nullptr,
+                   [&](int) { found = true; });
+    }
+    if (!found) out.AddRow(l);
+  }
+  return out;
+}
+
+Table LeftOuterJoin(const Table& left, const Table& right,
+                    const ExecPredicate& pred,
+                    const DefaultVector& right_defaults) {
+  BoundPredicate p = Bind(pred, left, right);
+  HashIndex index;
+  bool use_index = p.all_equality && !pred.empty();
+  if (use_index) index = BuildIndex(right, p.right_idx);
+  Table out(ConcatColumns(left, right));
+  Row pad = PaddingRow(right, right_defaults);
+  for (const Row& l : left.rows()) {
+    bool found = false;
+    ForEachMatch(p, left, l, right, use_index ? &index : nullptr, [&](int r) {
+      found = true;
+      out.AddRow(ConcatRows(l, right.rows()[r]));
+    });
+    if (pred.empty() && right.NumRows() > 0) {
+      // Degenerate predicate: every pair matches (cross semantics).
+      for (const Row& r : right.rows()) out.AddRow(ConcatRows(l, r));
+      found = true;
+    }
+    if (!found) out.AddRow(ConcatRows(l, pad));
+  }
+  return out;
+}
+
+Table FullOuterJoin(const Table& left, const Table& right,
+                    const ExecPredicate& pred,
+                    const DefaultVector& left_defaults,
+                    const DefaultVector& right_defaults) {
+  BoundPredicate p = Bind(pred, left, right);
+  HashIndex index;
+  bool use_index = p.all_equality && !pred.empty();
+  if (use_index) index = BuildIndex(right, p.right_idx);
+  Table out(ConcatColumns(left, right));
+  Row right_pad = PaddingRow(right, right_defaults);
+  Row left_pad = PaddingRow(left, left_defaults);
+  std::vector<bool> right_matched(right.NumRows(), false);
+  for (const Row& l : left.rows()) {
+    bool found = false;
+    ForEachMatch(p, left, l, right, use_index ? &index : nullptr, [&](int r) {
+      found = true;
+      right_matched[static_cast<size_t>(r)] = true;
+      out.AddRow(ConcatRows(l, right.rows()[r]));
+    });
+    if (!found) out.AddRow(ConcatRows(l, right_pad));
+  }
+  for (size_t r = 0; r < right.NumRows(); ++r) {
+    if (!right_matched[r]) out.AddRow(ConcatRows(left_pad, right.rows()[r]));
+  }
+  return out;
+}
+
+Table GroupJoin(const Table& left, const Table& right,
+                const ExecPredicate& pred,
+                const std::vector<ExecAggregate>& aggs) {
+  BoundPredicate p = Bind(pred, left, right);
+  HashIndex index;
+  bool use_index = p.all_equality && !pred.empty();
+  if (use_index) index = BuildIndex(right, p.right_idx);
+  std::vector<BoundAggregate> bound;
+  bound.reserve(aggs.size());
+  for (const ExecAggregate& a : aggs) bound.push_back(BindAggregate(a, right));
+  Table out(left.columns());
+  for (const ExecAggregate& a : aggs) out.AddColumn(a.output);
+  for (const Row& l : left.rows()) {
+    std::vector<int> partners;
+    ForEachMatch(p, left, l, right, use_index ? &index : nullptr,
+                 [&](int r) { partners.push_back(r); });
+    Row row = l;
+    for (const BoundAggregate& a : bound) {
+      row.push_back(EvaluateAggregate(a, right, partners));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Table GroupBy(const Table& in, const std::vector<std::string>& group_columns,
+              const std::vector<ExecAggregate>& aggs) {
+  std::vector<int> key_idx;
+  key_idx.reserve(group_columns.size());
+  for (const std::string& c : group_columns) {
+    key_idx.push_back(in.RequireColumn(c));
+  }
+  // Group with NULL == NULL: hash NULL as a fixed value, compare with
+  // GroupEquals.
+  std::unordered_multimap<size_t, int> groups_by_hash;
+  std::vector<std::vector<int>> groups;  // row indexes per group
+  std::vector<int> representative;       // first row of each group
+  for (size_t r = 0; r < in.NumRows(); ++r) {
+    const Row& row = in.rows()[r];
+    size_t h = 0xabcdef;
+    for (int i : key_idx) h = h * 1315423911u + row[i].Hash();
+    int group = -1;
+    auto range = groups_by_hash.equal_range(h);
+    for (auto it = range.first; it != range.second; ++it) {
+      const Row& rep = in.rows()[static_cast<size_t>(representative[it->second])];
+      bool same = true;
+      for (int i : key_idx) {
+        if (!Value::GroupEquals(rep[i], row[i])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        group = it->second;
+        break;
+      }
+    }
+    if (group < 0) {
+      group = static_cast<int>(groups.size());
+      groups.emplace_back();
+      representative.push_back(static_cast<int>(r));
+      groups_by_hash.emplace(h, group);
+    }
+    groups[static_cast<size_t>(group)].push_back(static_cast<int>(r));
+  }
+  std::vector<BoundAggregate> bound;
+  bound.reserve(aggs.size());
+  for (const ExecAggregate& a : aggs) bound.push_back(BindAggregate(a, in));
+  std::vector<std::string> out_cols = group_columns;
+  for (const ExecAggregate& a : aggs) out_cols.push_back(a.output);
+  Table out(out_cols);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Row row;
+    row.reserve(out_cols.size());
+    const Row& rep = in.rows()[static_cast<size_t>(representative[g])];
+    for (int i : key_idx) row.push_back(rep[i]);
+    for (const BoundAggregate& a : bound) {
+      row.push_back(EvaluateAggregate(a, in, groups[g]));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Table Select(const Table& in,
+             const std::function<bool(const Table&, const Row&)>& pred) {
+  Table out(in.columns());
+  for (const Row& r : in.rows()) {
+    if (pred(in, r)) out.AddRow(r);
+  }
+  return out;
+}
+
+Table Project(const Table& in, const std::vector<std::string>& cols) {
+  std::vector<int> idx;
+  idx.reserve(cols.size());
+  for (const std::string& c : cols) idx.push_back(in.RequireColumn(c));
+  Table out(cols);
+  for (const Row& r : in.rows()) {
+    Row row;
+    row.reserve(idx.size());
+    for (int i : idx) row.push_back(r[i]);
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Table DistinctProject(const Table& in, const std::vector<std::string>& cols) {
+  Table projected = Project(in, cols);
+  std::vector<Row> sorted = projected.SortedRows();
+  Table out(cols);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      bool same = true;
+      for (size_t c = 0; c < sorted[i].size(); ++c) {
+        if (!Value::GroupEquals(sorted[i][c], sorted[i - 1][c])) {
+          same = false;
+          break;
+        }
+      }
+      if (same) continue;
+    }
+    out.AddRow(sorted[i]);
+  }
+  return out;
+}
+
+Table UnionAll(const Table& a, const Table& b) {
+  Table out(a.columns());
+  for (const Row& r : a.rows()) out.AddRow(r);
+  std::vector<int> perm;
+  perm.reserve(a.NumColumns());
+  for (const std::string& c : a.columns()) perm.push_back(b.RequireColumn(c));
+  for (const Row& r : b.rows()) {
+    Row row;
+    row.reserve(perm.size());
+    for (int i : perm) row.push_back(r[static_cast<size_t>(i)]);
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Table Map(const Table& in, const std::vector<MapExpr>& exprs) {
+  struct BoundExpr {
+    const MapExpr* e;
+    int arg = -1;
+    int arg2 = -1;
+    std::vector<int> counts;
+  };
+  // Expressions may reference the outputs of earlier expressions in the
+  // same map (e.g. an avg reconstitution dividing two aggregates the map
+  // itself computed), so bind against the incrementally extended schema.
+  Table out(in.columns());
+  std::vector<BoundExpr> bound;
+  bound.reserve(exprs.size());
+  for (const MapExpr& e : exprs) {
+    BoundExpr b;
+    b.e = &e;
+    if (!e.arg.empty()) b.arg = out.RequireColumn(e.arg);
+    if (!e.arg2.empty()) b.arg2 = out.RequireColumn(e.arg2);
+    for (const std::string& c : e.counts) {
+      b.counts.push_back(out.RequireColumn(c));
+    }
+    bound.push_back(std::move(b));
+    out.AddColumn(e.output);
+  }
+  for (const Row& r : in.rows()) {
+    Row row = r;
+    for (const BoundExpr& b : bound) {
+      // Reads go through `row`, which already holds the outputs of the
+      // preceding expressions.
+      auto count_product = [&]() -> Value {
+        double prod = 1;
+        bool all_int = true;
+        for (int i : b.counts) {
+          const Value& v = row[static_cast<size_t>(i)];
+          assert(!v.is_null() && "NULL count attribute in map");
+          prod *= v.AsDouble();
+          all_int &= v.is_int();
+        }
+        return all_int ? Value::Int(static_cast<int64_t>(prod))
+                       : Value::Double(prod);
+      };
+      switch (b.e->kind) {
+        case MapExpr::Kind::kCopy:
+          row.push_back(row[static_cast<size_t>(b.arg)]);
+          break;
+        case MapExpr::Kind::kMulCounts: {
+          const Value v = row[static_cast<size_t>(b.arg)];
+          if (v.is_null()) {
+            row.push_back(Value::Null());
+          } else {
+            Value prod = count_product();
+            double result = v.AsDouble() * prod.AsDouble();
+            row.push_back(v.is_int() && prod.is_int()
+                              ? Value::Int(static_cast<int64_t>(result))
+                              : Value::Double(result));
+          }
+          break;
+        }
+        case MapExpr::Kind::kCountProduct:
+          row.push_back(count_product());
+          break;
+        case MapExpr::Kind::kCountIfNotNull: {
+          const Value v = row[static_cast<size_t>(b.arg)];
+          row.push_back(v.is_null() ? Value::Int(0) : count_product());
+          break;
+        }
+        case MapExpr::Kind::kDiv: {
+          const Value num = row[static_cast<size_t>(b.arg)];
+          const Value den = row[static_cast<size_t>(b.arg2)];
+          if (num.is_null() || den.is_null() || den.AsDouble() == 0) {
+            row.push_back(Value::Null());
+          } else {
+            row.push_back(Value::Double(num.AsDouble() / den.AsDouble()));
+          }
+          break;
+        }
+        case MapExpr::Kind::kConstInt:
+          row.push_back(Value::Int(b.e->const_value));
+          break;
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace eadp

@@ -1,0 +1,135 @@
+// Bag-semantics implementations of the algebraic operators of Fig. 1.
+//
+// These implement, over Table:
+//   cross product A, inner join B, left semijoin N, left antijoin T,
+//   left outerjoin E (with optional default vector D2, Eqv. 7),
+//   full outerjoin K (with optional default vectors D1;D2, Eqv. 8),
+//   left groupjoin Z (Eqv. 9), grouping Γ (with full aggregate evaluation),
+//   map χ, selection σ, projections Π / Π^D, and bag union.
+//
+// Joins use a hash strategy when every condition is an equality and fall
+// back to nested loops otherwise. Predicates follow SQL semantics: NULL
+// never satisfies a comparison. Grouping keys follow the NULL-equals-NULL
+// convention (paper Sec. 2.3, citing Paulley).
+
+#ifndef EADP_EXEC_OPERATORS_H_
+#define EADP_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/aggregate_eval.h"
+#include "exec/table.h"
+
+namespace eadp {
+
+/// Comparison operators for column conditions (θ of the paper).
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One condition `left θ right` between a column of the left input and a
+/// column of the right input.
+struct ColumnCondition {
+  std::string left_column;
+  std::string right_column;
+  CmpOp op = CmpOp::kEq;
+};
+
+/// A conjunction of column conditions; empty means "true" (cross product
+/// semantics for joins).
+using ExecPredicate = std::vector<ColumnCondition>;
+
+/// A default vector D for generalized outer joins: unmatched tuples are
+/// padded with these values for the listed columns and NULL elsewhere.
+struct DefaultEntry {
+  std::string column;
+  Value value;
+};
+using DefaultVector = std::vector<DefaultEntry>;
+
+/// e1 A e2 (cross product).
+Table CrossProduct(const Table& left, const Table& right);
+
+/// e1 B_p e2.
+Table InnerJoin(const Table& left, const Table& right,
+                const ExecPredicate& pred);
+
+/// e1 N_p e2.
+Table LeftSemiJoin(const Table& left, const Table& right,
+                   const ExecPredicate& pred);
+
+/// e1 T_p e2.
+Table LeftAntiJoin(const Table& left, const Table& right,
+                   const ExecPredicate& pred);
+
+/// e1 E^{D2}_p e2; pass an empty `right_defaults` for plain NULL padding.
+Table LeftOuterJoin(const Table& left, const Table& right,
+                    const ExecPredicate& pred,
+                    const DefaultVector& right_defaults = {});
+
+/// e1 K^{D1;D2}_p e2.
+Table FullOuterJoin(const Table& left, const Table& right,
+                    const ExecPredicate& pred,
+                    const DefaultVector& left_defaults = {},
+                    const DefaultVector& right_defaults = {});
+
+/// e1 Z_{p; aggs} e2: every left tuple extended by the aggregate values over
+/// its right partners (empty partner sets aggregate over ∅: count = 0,
+/// sum/min/max = NULL).
+Table GroupJoin(const Table& left, const Table& right,
+                const ExecPredicate& pred,
+                const std::vector<ExecAggregate>& aggs);
+
+/// Γ_{G; aggs}(in): equality grouping on `group_columns` (NULL groups with
+/// NULL) with the given aggregates. Output schema: group columns then
+/// aggregate outputs.
+Table GroupBy(const Table& in, const std::vector<std::string>& group_columns,
+              const std::vector<ExecAggregate>& aggs);
+
+/// σ_pred(in) with an arbitrary row predicate.
+Table Select(const Table& in,
+             const std::function<bool(const Table&, const Row&)>& pred);
+
+/// Π_cols(in): duplicate-preserving projection.
+Table Project(const Table& in, const std::vector<std::string>& cols);
+
+/// Π^D_cols(in): duplicate-removing projection (NULLs compare equal).
+Table DistinctProject(const Table& in, const std::vector<std::string>& cols);
+
+/// Bag union; schemas must have equal column names (in any order).
+Table UnionAll(const Table& a, const Table& b);
+
+/// Scalar expressions for the map operator χ. These cover exactly what plan
+/// finalization needs (Eqv. 42 and the count-scaling rules).
+struct MapExpr {
+  enum class Kind {
+    kCopy,          ///< out = column `arg`
+    kMulCounts,     ///< out = arg · Π counts (NULL if arg is NULL)
+    kCountProduct,  ///< out = Π counts (1 when `counts` is empty)
+    kCountIfNotNull,///< out = arg IS NULL ? 0 : Π counts
+    kDiv,           ///< out = arg / arg2 (NULL if either NULL or arg2 = 0)
+    kConstInt,      ///< out = const_value
+  };
+  std::string output;
+  Kind kind = Kind::kCopy;
+  std::string arg;
+  std::string arg2;                  ///< kDiv only
+  std::vector<std::string> counts;   ///< count columns for the product
+  int64_t const_value = 0;
+
+  static MapExpr Copy(std::string out, std::string col) {
+    MapExpr e;
+    e.output = std::move(out);
+    e.kind = Kind::kCopy;
+    e.arg = std::move(col);
+    return e;
+  }
+};
+
+/// χ_exprs(in): extends every row by the computed columns (input columns are
+/// retained; use Project to drop them).
+Table Map(const Table& in, const std::vector<MapExpr>& exprs);
+
+}  // namespace eadp
+
+#endif  // EADP_EXEC_OPERATORS_H_

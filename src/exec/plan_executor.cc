@@ -1,0 +1,240 @@
+#include "exec/plan_executor.h"
+
+#include <cassert>
+
+namespace eadp {
+
+namespace {
+
+/// Translates a JoinPredicate into an ExecPredicate against the two child
+/// tables. Each equality's attributes may come from either child (the plan
+/// may have swapped argument order relative to the input tree), so sides
+/// are resolved by schema lookup.
+ExecPredicate BindPredicate(const JoinPredicate& pred, const Catalog& catalog,
+                            const Table& left, const Table& right) {
+  ExecPredicate out;
+  for (const AttrEquality& eq : pred.equalities()) {
+    const std::string& a = catalog.attribute(eq.left_attr).name;
+    const std::string& b = catalog.attribute(eq.right_attr).name;
+    ColumnCondition c;
+    c.op = CmpOp::kEq;
+    if (left.ColumnIndex(a) >= 0 && right.ColumnIndex(b) >= 0) {
+      c.left_column = a;
+      c.right_column = b;
+    } else {
+      assert(left.ColumnIndex(b) >= 0 && right.ColumnIndex(a) >= 0);
+      c.left_column = b;
+      c.right_column = a;
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+DefaultVector BindDefaults(const std::vector<SymbolicDefault>& defaults) {
+  DefaultVector out;
+  for (const SymbolicDefault& d : defaults) {
+    out.push_back({d.column, Value::Int(d.one ? 1 : 0)});
+  }
+  return out;
+}
+
+std::vector<std::string> GroupColumnNames(AttrSet attrs,
+                                          const Catalog& catalog) {
+  std::vector<std::string> names;
+  for (int a : BitsOf(attrs)) names.push_back(catalog.attribute(a).name);
+  return names;
+}
+
+std::vector<ExecAggregate> BindGroupjoinAggs(const AggregateVector& aggs,
+                                             const Catalog& catalog,
+                                             int op_index) {
+  std::vector<ExecAggregate> out;
+  for (size_t k = 0; k < aggs.size(); ++k) {
+    const AggregateFunction& f = aggs[k];
+    ExecAggregate a;
+    a.output = f.output.empty()
+                   ? "$gj" + std::to_string(op_index) + "_" + std::to_string(k)
+                   : f.output;
+    a.kind = f.kind;
+    a.distinct = f.distinct;
+    if (f.arg >= 0) a.arg = catalog.attribute(f.arg).name;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+Table Execute(const PlanNode& node, const Query& query, const Database& db,
+              ExecutionStats* stats);
+
+/// Records estimated-vs-actual rows for one node.
+void Record(const PlanNode& node, const Query& query, const Table& result,
+            ExecutionStats* stats) {
+  if (stats == nullptr) return;
+  ExecutionStats::NodeStat stat;
+  stat.label = PlanOpName(node.op);
+  if (node.op == PlanOp::kScan) {
+    stat.label += " " + query.catalog().relation(node.relation).name;
+  } else if (node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup) {
+    stat.label +=
+        " {" + query.catalog().AttrSetToString(node.group_by) + "}";
+  } else if (node.IsBinary() && !node.predicate.empty()) {
+    stat.label += " [" + node.predicate.ToString(query.catalog()) + "]";
+  }
+  stat.estimated = node.cardinality;
+  stat.actual = result.NumRows();
+  stats->nodes.push_back(std::move(stat));
+}
+
+Table Execute(const PlanNode& node, const Query& query, const Database& db,
+              ExecutionStats* stats) {
+  const Catalog& catalog = query.catalog();
+  switch (node.op) {
+    case PlanOp::kScan: {
+      const Table& t = db.tables[static_cast<size_t>(node.relation)];
+      Record(node, query, t, stats);
+      return t;
+    }
+    case PlanOp::kGroup:
+    case PlanOp::kFinalGroup: {
+      Table in = Execute(*node.left, query, db, stats);
+      Table out = GroupBy(in, GroupColumnNames(node.group_by, catalog),
+                          node.group_aggs);
+      Record(node, query, out, stats);
+      return out;
+    }
+    case PlanOp::kFinalMap: {
+      Table in = Execute(*node.left, query, db, stats);
+      Table mapped = node.final_map.empty() ? in : Map(in, node.final_map);
+      Table out = Project(mapped, node.output_columns);
+      Record(node, query, out, stats);
+      return out;
+    }
+    default:
+      break;
+  }
+
+  Table left = Execute(*node.left, query, db, stats);
+  Table right = Execute(*node.right, query, db, stats);
+  ExecPredicate pred = BindPredicate(node.predicate, catalog, left, right);
+  Table out;
+  switch (node.op) {
+    case PlanOp::kJoin:
+      out = InnerJoin(left, right, pred);
+      break;
+    case PlanOp::kLeftSemi:
+      out = LeftSemiJoin(left, right, pred);
+      break;
+    case PlanOp::kLeftAnti:
+      out = LeftAntiJoin(left, right, pred);
+      break;
+    case PlanOp::kLeftOuter:
+      out = LeftOuterJoin(left, right, pred,
+                          BindDefaults(node.right_defaults));
+      break;
+    case PlanOp::kFullOuter:
+      out = FullOuterJoin(left, right, pred, BindDefaults(node.left_defaults),
+                          BindDefaults(node.right_defaults));
+      break;
+    case PlanOp::kGroupJoin:
+      out = GroupJoin(left, right, pred,
+                      BindGroupjoinAggs(node.groupjoin_aggs, catalog,
+                                        node.op_indices.empty()
+                                            ? 0
+                                            : node.op_indices[0]));
+      break;
+    default:
+      assert(false && "unhandled plan operator");
+  }
+  Record(node, query, out, stats);
+  return out;
+}
+
+Table ExecuteTree(const OpTreeNode& node, const Query& query,
+                  const Database& db, int* op_counter) {
+  const Catalog& catalog = query.catalog();
+  if (node.is_leaf) return db.tables[static_cast<size_t>(node.relation)];
+  Table left = ExecuteTree(*node.left, query, db, op_counter);
+  Table right = ExecuteTree(*node.right, query, db, op_counter);
+  int op_index = (*op_counter)++;
+  ExecPredicate pred = BindPredicate(node.predicate, catalog, left, right);
+  switch (node.kind) {
+    case OpKind::kJoin:
+      return InnerJoin(left, right, pred);
+    case OpKind::kLeftSemi:
+      return LeftSemiJoin(left, right, pred);
+    case OpKind::kLeftAnti:
+      return LeftAntiJoin(left, right, pred);
+    case OpKind::kLeftOuter:
+      return LeftOuterJoin(left, right, pred);
+    case OpKind::kFullOuter:
+      return FullOuterJoin(left, right, pred);
+    case OpKind::kGroupJoin:
+      return GroupJoin(
+          left, right, pred,
+          BindGroupjoinAggs(node.groupjoin_aggs, catalog, op_index));
+  }
+  return Table();
+}
+
+}  // namespace
+
+double ExecutionStats::ActualCout() const {
+  double total = 0;
+  for (const NodeStat& n : nodes) {
+    // Scans are free under C_out; map/projection nodes likewise.
+    if (n.label.rfind("scan", 0) == 0 || n.label.rfind("final-map", 0) == 0) {
+      continue;
+    }
+    total += static_cast<double>(n.actual);
+  }
+  return total;
+}
+
+Table ExecutePlan(const PlanPtr& plan, const Query& query, const Database& db,
+                  ExecutionStats* stats) {
+  assert(plan != nullptr);
+  return Execute(*plan, query, db, stats);
+}
+
+Table ExecuteCanonical(const Query& query, const Database& db) {
+  const Catalog& catalog = query.catalog();
+  int op_counter = 0;
+  Table joined = ExecuteTree(*query.root(), query, db, &op_counter);
+
+  std::vector<ExecAggregate> aggs;
+  for (const AggregateFunction& f : query.aggregates()) {
+    ExecAggregate a;
+    a.output = f.output;
+    a.kind = f.kind;
+    a.distinct = f.distinct;
+    if (f.arg >= 0) a.arg = catalog.attribute(f.arg).name;
+    aggs.push_back(std::move(a));
+  }
+  Table grouped =
+      GroupBy(joined, GroupColumnNames(query.group_by(), catalog), aggs);
+
+  std::vector<MapExpr> divisions;
+  for (const FinalDivision& div : query.final_divisions()) {
+    MapExpr e;
+    e.output = div.output;
+    e.kind = MapExpr::Kind::kDiv;
+    e.arg =
+        query.aggregates()[static_cast<size_t>(div.numerator_slot)].output;
+    e.arg2 =
+        query.aggregates()[static_cast<size_t>(div.denominator_slot)].output;
+    divisions.push_back(std::move(e));
+  }
+  Table mapped = divisions.empty() ? grouped : Map(grouped, divisions);
+
+  std::vector<std::string> output = GroupColumnNames(query.group_by(), catalog);
+  for (const AggregateFunction& f : query.aggregates()) {
+    output.push_back(f.output);
+  }
+  for (const FinalDivision& div : query.final_divisions()) {
+    output.push_back(div.output);
+  }
+  return Project(mapped, output);
+}
+
+}  // namespace eadp

@@ -1,0 +1,55 @@
+// Plan execution and canonical query evaluation.
+//
+// ExecutePlan interprets a plan produced by any of the plan generators
+// against an in-memory database; ExecuteCanonical evaluates the *original*
+// operator tree followed by the top grouping (the textbook, lazy
+// evaluation). The two must agree as bags for every valid plan — this is
+// the library's master correctness property and the backbone of the test
+// suite.
+
+#ifndef EADP_EXEC_PLAN_EXECUTOR_H_
+#define EADP_EXEC_PLAN_EXECUTOR_H_
+
+#include <vector>
+
+#include "algebra/query.h"
+#include "exec/operators.h"
+#include "exec/table.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+/// In-memory database: one table per catalog relation (same indexing).
+/// Table columns must be named like the catalog attributes.
+struct Database {
+  std::vector<Table> tables;
+};
+
+/// Per-node execution statistics: estimated vs. actual row counts in
+/// post-order (children before parents), for estimate-quality reporting.
+struct ExecutionStats {
+  struct NodeStat {
+    std::string label;       ///< operator + predicate/grouping summary
+    double estimated = 0;    ///< optimizer's cardinality estimate
+    size_t actual = 0;       ///< rows actually produced
+  };
+  std::vector<NodeStat> nodes;
+
+  /// Sum of actual intermediate result sizes — the "true C_out" of the run.
+  double ActualCout() const;
+};
+
+/// Executes an optimized plan. The result schema is the query's output
+/// schema (grouping attributes, then aggregate outputs). Pass `stats` to
+/// collect per-operator estimated-vs-actual row counts.
+Table ExecutePlan(const PlanPtr& plan, const Query& query, const Database& db,
+                  ExecutionStats* stats = nullptr);
+
+/// Canonical evaluation: original operator tree, then Γ_G;F, then the
+/// final divisions (avg reconstitution), projected to the same output
+/// schema as ExecutePlan.
+Table ExecuteCanonical(const Query& query, const Database& db);
+
+}  // namespace eadp
+
+#endif  // EADP_EXEC_PLAN_EXECUTOR_H_

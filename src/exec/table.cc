@@ -1,0 +1,119 @@
+#include "exec/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace eadp {
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Table::RequireColumn(const std::string& name) const {
+  int idx = ColumnIndex(name);
+  if (idx < 0) {
+    std::fprintf(stderr, "Table: missing column '%s' (have: %s)\n",
+                 name.c_str(), StrJoin(columns_, ", ").c_str());
+    std::abort();
+  }
+  return idx;
+}
+
+void Table::AddRow(Row row) {
+  assert(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool RowLess(const Row& a, const Row& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    if (Value::Less(a[i], b[i])) return true;
+    if (Value::Less(b[i], a[i])) return false;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+std::vector<Row> Table::SortedRows() const {
+  std::vector<Row> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(), RowLess);
+  return sorted;
+}
+
+bool Table::BagEquals(const Table& a, const Table& b) {
+  if (a.NumColumns() != b.NumColumns()) return false;
+  if (a.NumRows() != b.NumRows()) return false;
+  // Compute the column permutation from b to a's order.
+  std::vector<int> perm(a.NumColumns());
+  for (size_t i = 0; i < a.columns().size(); ++i) {
+    int j = b.ColumnIndex(a.columns()[i]);
+    if (j < 0) return false;
+    perm[i] = j;
+  }
+  std::vector<Row> b_rows;
+  b_rows.reserve(b.NumRows());
+  for (const Row& r : b.rows()) {
+    Row out(perm.size());
+    for (size_t i = 0; i < perm.size(); ++i) out[i] = r[perm[i]];
+    b_rows.push_back(std::move(out));
+  }
+  std::vector<Row> a_rows = a.SortedRows();
+  std::sort(b_rows.begin(), b_rows.end(), RowLess);
+  for (size_t i = 0; i < a_rows.size(); ++i) {
+    const Row& ra = a_rows[i];
+    const Row& rb = b_rows[i];
+    for (size_t c = 0; c < ra.size(); ++c) {
+      if (!Value::GroupEquals(ra[c], rb[c])) {
+        // Numeric aggregates may differ by float rounding when computed in
+        // different orders; tolerate a tiny relative error.
+        if (!ra[c].is_null() && !rb[c].is_null()) {
+          double x = ra[c].AsDouble();
+          double y = rb[c].AsDouble();
+          double scale = std::max({1.0, std::abs(x), std::abs(y)});
+          if (std::abs(x - y) <= 1e-9 * scale) continue;
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += StrFormat("%-*s ", static_cast<int>(widths[c]), columns_[c].c_str());
+  }
+  out += "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out += StrFormat("%-*s ", static_cast<int>(widths[c]),
+                       cells[r][c].c_str());
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += StrFormat("... (%zu rows total)\n", rows_.size());
+  }
+  return out;
+}
+
+}  // namespace eadp

@@ -1,0 +1,67 @@
+// In-memory tables with bag semantics.
+//
+// A Table is a named-column schema plus a vector of rows. Column names are
+// globally meaningful within one query execution: base columns use their
+// catalog names ("supplier.s_nationkey"), generated columns (partial
+// aggregates, count attributes) use "$"-prefixed names handed out by the
+// optimizer. Operators concatenate schemas, mirroring the tuple
+// concatenation `◦` of the paper's operator definitions.
+
+#ifndef EADP_EXEC_TABLE_H_
+#define EADP_EXEC_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/value.h"
+
+namespace eadp {
+
+using Row = std::vector<Value>;
+
+/// A bag of rows under a named schema.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>* mutable_rows() { return &rows_; }
+
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumColumns() const { return columns_.size(); }
+
+  /// Index of column `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Index of column `name`; aborts if absent (schema bugs are programmer
+  /// errors).
+  int RequireColumn(const std::string& name) const;
+
+  void AddRow(Row row);
+
+  /// Appends a new column name to the schema (rows must be extended by the
+  /// caller or be empty).
+  void AddColumn(const std::string& name) { columns_.push_back(name); }
+
+  /// Rows sorted lexicographically by Value::Less — a canonical form for
+  /// bag comparison.
+  std::vector<Row> SortedRows() const;
+
+  /// Bag equality: same columns (by name, same order not required — rows of
+  /// `b` are permuted to match), same multiset of rows under GroupEquals.
+  static bool BagEquals(const Table& a, const Table& b);
+
+  /// Renders an aligned ASCII table (for examples and error messages).
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_EXEC_TABLE_H_

@@ -1,0 +1,46 @@
+#include "exec/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace eadp {
+
+bool Value::SqlEquals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  return a.AsDouble() == b.AsDouble();
+}
+
+bool Value::GroupEquals(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return true;
+  if (a.is_null() || b.is_null()) return false;
+  return a.AsDouble() == b.AsDouble();
+}
+
+bool Value::Less(const Value& a, const Value& b) {
+  if (a.is_null() != b.is_null()) return a.is_null();
+  if (a.is_null()) return false;
+  double da = a.AsDouble();
+  double db = b.AsDouble();
+  if (da != db) return da < db;
+  // Tie: order ints before doubles so bag comparison is deterministic.
+  return a.is_int() && !b.is_int();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b9u;
+  // Hash by numeric value so Int(3) and Double(3.0) (GroupEquals-equal)
+  // collide deliberately.
+  double d = AsDouble();
+  if (d == 0.0) d = 0.0;  // normalize -0.0
+  return std::hash<double>()(d);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "-";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(AsInt()));
+  return StrFormat("%g", std::get<double>(v_));
+}
+
+}  // namespace eadp

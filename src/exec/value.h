@@ -1,0 +1,67 @@
+// Runtime values with SQL NULL semantics.
+//
+// The execution engine exists to *verify* the optimizer: every equivalence
+// of the paper and every generated plan is executed on data and compared
+// against a canonical evaluation. Values are a small variant over NULL,
+// int64 and double; two equality notions are provided:
+//   * SqlEquals — predicate semantics: NULL never matches (our join
+//     predicates are null-rejecting);
+//   * GroupEquals — grouping semantics: two values are equal if they agree
+//     in value or are both NULL (Paulley's convention, paper Sec. 2.3).
+
+#ifndef EADP_EXEC_VALUE_H_
+#define EADP_EXEC_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace eadp {
+
+/// A runtime value: NULL, 64-bit integer, or double.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}  // NULL
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(i); }
+  static Value Double(double d) { return Value(d); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(v_))
+                    : std::get<double>(v_);
+  }
+
+  /// Numeric value as double; 0 for NULL (callers must check is_null()).
+  double NumericOrZero() const { return is_null() ? 0.0 : AsDouble(); }
+
+  /// Predicate equality: false if either side is NULL.
+  static bool SqlEquals(const Value& a, const Value& b);
+
+  /// Grouping equality: NULL equals NULL.
+  static bool GroupEquals(const Value& a, const Value& b);
+
+  /// Total order for sorting/canonicalization: NULL first, then numeric
+  /// order (ints and doubles compared numerically), ints before doubles on
+  /// ties.
+  static bool Less(const Value& a, const Value& b);
+
+  /// Hash consistent with GroupEquals.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double> v_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_EXEC_VALUE_H_

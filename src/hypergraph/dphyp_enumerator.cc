@@ -1,0 +1,88 @@
+#include "hypergraph/dphyp_enumerator.h"
+
+#include <vector>
+
+namespace eadp {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Hypergraph& graph, const CcpCallback& cb)
+      : graph_(graph), cb_(cb) {}
+
+  uint64_t Run() {
+    int n = graph_.num_nodes();
+    for (int v = n - 1; v >= 0; --v) {
+      RelSet s1 = RelSet::Single(v);
+      EmitCsg(s1);
+      EnumerateCsgRec(s1, RelSet::Below(v + 1));
+    }
+    return count_;
+  }
+
+ private:
+  void EmitCsg(RelSet s1) {
+    RelSet x = s1.Union(RelSet::Below(s1.Lowest() + 1));
+    RelSet n = graph_.Neighborhood(s1, x);
+    // Descending order over the neighborhood.
+    std::vector<int> members;
+    for (int v : BitsOf(n)) members.push_back(v);
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      int v = *it;
+      RelSet s2 = RelSet::Single(v);
+      if (graph_.Connects(s1, s2)) Emit(s1, s2);
+      // Forbid smaller-or-equal neighbors so each S2 is grown exactly once.
+      RelSet below_v = n.Intersect(RelSet::Below(v + 1));
+      EnumerateCmpRec(s1, s2, x.Union(below_v));
+    }
+  }
+
+  void EnumerateCsgRec(RelSet s1, RelSet x) {
+    RelSet n = graph_.Neighborhood(s1, x);
+    if (n.empty()) return;
+    for (RelSet sub : SubsetsOf(n)) {
+      RelSet grown = s1.Union(sub);
+      if (graph_.IsConnected(grown)) EmitCsg(grown);
+    }
+    for (RelSet sub : SubsetsOf(n)) {
+      EnumerateCsgRec(s1.Union(sub), x.Union(n));
+    }
+  }
+
+  void EnumerateCmpRec(RelSet s1, RelSet s2, RelSet x) {
+    RelSet n = graph_.Neighborhood(s2, x);
+    if (n.empty()) return;
+    for (RelSet sub : SubsetsOf(n)) {
+      RelSet grown = s2.Union(sub);
+      if (graph_.IsConnected(grown) && graph_.Connects(s1, grown)) {
+        Emit(s1, grown);
+      }
+    }
+    for (RelSet sub : SubsetsOf(n)) {
+      EnumerateCmpRec(s1, s2.Union(sub), x.Union(n));
+    }
+  }
+
+  void Emit(RelSet s1, RelSet s2) {
+    ++count_;
+    if (cb_) cb_(s1, s2);
+  }
+
+  const Hypergraph& graph_;
+  const CcpCallback& cb_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace
+
+uint64_t EnumerateCsgCmpPairs(const Hypergraph& graph, const CcpCallback& cb) {
+  Enumerator e(graph, cb);
+  return e.Run();
+}
+
+uint64_t CountCsgCmpPairs(const Hypergraph& graph) {
+  return EnumerateCsgCmpPairs(graph, nullptr);
+}
+
+}  // namespace eadp

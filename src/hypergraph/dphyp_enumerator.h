@@ -1,0 +1,33 @@
+// DPhyp: enumeration of csg-cmp-pairs of a hypergraph.
+//
+// Implements the enumerator of Moerkotte & Neumann ("Dynamic Programming
+// Strikes Back", SIGMOD 2008), which emits every csg-cmp-pair (Def. 3 of
+// the paper under reproduction) exactly once, in an order compatible with
+// bottom-up dynamic programming: both components of a pair are emitted
+// after all of their own sub-pairs.
+
+#ifndef EADP_HYPERGRAPH_DPHYP_ENUMERATOR_H_
+#define EADP_HYPERGRAPH_DPHYP_ENUMERATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bitset.h"
+#include "hypergraph/hypergraph.h"
+
+namespace eadp {
+
+/// Callback invoked for every csg-cmp-pair (S1, S2). The pair is emitted in
+/// one orientation only; callers handle commutativity themselves.
+using CcpCallback = std::function<void(RelSet, RelSet)>;
+
+/// Enumerates all csg-cmp-pairs of `graph`, invoking `cb` for each.
+/// Returns the number of pairs emitted.
+uint64_t EnumerateCsgCmpPairs(const Hypergraph& graph, const CcpCallback& cb);
+
+/// Counts csg-cmp-pairs without a callback (for tests and statistics).
+uint64_t CountCsgCmpPairs(const Hypergraph& graph);
+
+}  // namespace eadp
+
+#endif  // EADP_HYPERGRAPH_DPHYP_ENUMERATOR_H_

@@ -1,0 +1,59 @@
+#include "hypergraph/hypergraph.h"
+
+#include "common/strings.h"
+
+namespace eadp {
+
+RelSet Hypergraph::Neighborhood(RelSet s, RelSet x) const {
+  RelSet forbidden = s.Union(x);
+  RelSet n;
+  for (const Hyperedge& e : edges_) {
+    if (e.left.IsSubsetOf(s) && !e.right.Intersects(forbidden)) {
+      n.Add(e.right.Lowest());
+    }
+    if (e.right.IsSubsetOf(s) && !e.left.Intersects(forbidden)) {
+      n.Add(e.left.Lowest());
+    }
+  }
+  return n;
+}
+
+bool Hypergraph::Connects(RelSet s1, RelSet s2) const {
+  for (const Hyperedge& e : edges_) {
+    if (e.left.IsSubsetOf(s1) && e.right.IsSubsetOf(s2)) return true;
+    if (e.left.IsSubsetOf(s2) && e.right.IsSubsetOf(s1)) return true;
+  }
+  return false;
+}
+
+bool Hypergraph::IsConnected(RelSet s) const {
+  if (s.empty()) return false;
+  if (s.Count() == 1) return true;
+  RelSet reached = s.LowestBit();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Hyperedge& e : edges_) {
+      if (!e.left.IsSubsetOf(s) || !e.right.IsSubsetOf(s)) continue;
+      if (e.left.IsSubsetOf(reached) && !e.right.IsSubsetOf(reached)) {
+        reached.UnionWith(e.right);
+        changed = true;
+      } else if (e.right.IsSubsetOf(reached) && !e.left.IsSubsetOf(reached)) {
+        reached.UnionWith(e.left);
+        changed = true;
+      }
+    }
+  }
+  return reached == s;
+}
+
+std::string Hypergraph::ToString() const {
+  std::string s = StrFormat("Hypergraph(%d nodes)\n", num_nodes_);
+  for (const Hyperedge& e : edges_) {
+    s += "  " + e.left.ToString() + " -- " + e.right.ToString() +
+         StrFormat(" (op %d)\n", e.op_index);
+  }
+  return s;
+}
+
+}  // namespace eadp

@@ -1,0 +1,61 @@
+// Query hypergraphs.
+//
+// The conflict detector encodes reordering constraints as hyperedges
+// (Moerkotte, Fender & Eich, SIGMOD'13): every operator of the input tree
+// contributes one hyperedge (L, R) where L and R are the parts of its TES
+// on its original left and right side. Simple binary edges are the special
+// case |L| = |R| = 1. The DPhyp enumerator walks this structure.
+
+#ifndef EADP_HYPERGRAPH_HYPERGRAPH_H_
+#define EADP_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+
+namespace eadp {
+
+/// One hyperedge: the two hypernodes plus the index of the operator (into
+/// Query::ops) it stems from.
+struct Hyperedge {
+  RelSet left;
+  RelSet right;
+  int op_index = -1;
+};
+
+/// A hypergraph over relations {0, ..., num_nodes-1}.
+class Hypergraph {
+ public:
+  explicit Hypergraph(int num_nodes) : num_nodes_(num_nodes) {}
+
+  void AddEdge(RelSet left, RelSet right, int op_index) {
+    edges_.push_back({left, right, op_index});
+  }
+
+  int num_nodes() const { return num_nodes_; }
+  const std::vector<Hyperedge>& edges() const { return edges_; }
+
+  /// DPhyp neighborhood: representatives of hypernodes reachable from S
+  /// while avoiding the forbidden set X. For every edge (u, v) with
+  /// u ⊆ S and v ∩ (S ∪ X) = ∅, the representative min(v) is added
+  /// (and symmetrically for v ⊆ S).
+  RelSet Neighborhood(RelSet s, RelSet x) const;
+
+  /// True iff some edge connects a subset of `s1` with a subset of `s2`
+  /// (in either orientation).
+  bool Connects(RelSet s1, RelSet s2) const;
+
+  /// True iff `s` induces a connected subgraph.
+  bool IsConnected(RelSet s) const;
+
+  std::string ToString() const;
+
+ private:
+  int num_nodes_;
+  std::vector<Hyperedge> edges_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_HYPERGRAPH_HYPERGRAPH_H_

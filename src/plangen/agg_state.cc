@@ -1,0 +1,272 @@
+#include "plangen/agg_state.h"
+
+#include <cassert>
+
+namespace eadp {
+
+namespace {
+
+/// Count columns of `state` as plain string names.
+std::vector<std::string> CountNames(const PlanAggState& state) {
+  std::vector<std::string> names;
+  names.reserve(state.counts.size());
+  for (const CountColumn& c : state.counts) names.push_back(c.column);
+  return names;
+}
+
+/// Count columns except the one at index `skip`.
+std::vector<std::string> CountNamesExcept(const PlanAggState& state,
+                                          int skip) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < state.counts.size(); ++i) {
+    if (static_cast<int>(i) != skip) names.push_back(state.counts[i].column);
+  }
+  return names;
+}
+
+const AggregateFunction& Original(const Query& query, const AggSlot& slot) {
+  return query.aggregates()[static_cast<size_t>(slot.query_index)];
+}
+
+std::string ArgColumn(const Query& query, const AggregateFunction& f) {
+  assert(f.arg >= 0);
+  return query.catalog().attribute(f.arg).name;
+}
+
+bool IsCountLike(AggKind kind) {
+  return kind == AggKind::kCount || kind == AggKind::kCountNN;
+}
+
+}  // namespace
+
+PlanAggState LeafAggState(const Query& query, int rel) {
+  PlanAggState state;
+  const AggregateVector& aggs = query.aggregates();
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggregateFunction& f = aggs[i];
+    if (f.arg < 0) continue;  // count(*): handled globally at finalization
+    if (query.catalog().RelationOf(f.arg) == rel) {
+      AggSlot slot;
+      slot.query_index = static_cast<int>(i);
+      state.slots.push_back(slot);
+    }
+  }
+  return state;
+}
+
+PlanAggState MergeAggStates(const PlanAggState& left,
+                            const PlanAggState& right) {
+  PlanAggState out = left;
+  int offset = static_cast<int>(left.counts.size());
+  for (const AggSlot& slot : right.slots) {
+    AggSlot adjusted = slot;
+    if (adjusted.home_count >= 0) adjusted.home_count += offset;
+    out.slots.push_back(adjusted);
+  }
+  out.counts.insert(out.counts.end(), right.counts.begin(),
+                    right.counts.end());
+  return out;
+}
+
+bool CanGroup(const Query& query, const PlanAggState& state,
+              AttrSet group_by) {
+  for (const AggSlot& slot : state.slots) {
+    if (slot.partialized) continue;
+    const AggregateFunction& f = Original(query, slot);
+    if (group_by.Contains(f.arg)) continue;  // survives as grouping attr
+    if (!IsDecomposable(f)) return false;
+  }
+  return true;
+}
+
+PlanAggState BuildGroupingSpec(const Query& query, const PlanAggState& state,
+                               AttrSet group_by, NameGenerator* names,
+                               std::vector<ExecAggregate>* aggs_out) {
+  assert(CanGroup(query, state, group_by));
+  PlanAggState out;
+  std::string fresh_count = names->FreshCount();
+
+  for (const AggSlot& slot : state.slots) {
+    const AggregateFunction& f = Original(query, slot);
+    AggSlot new_slot;
+    new_slot.query_index = slot.query_index;
+
+    if (!slot.partialized && group_by.Contains(f.arg)) {
+      // The argument survives as a grouping attribute: keep the slot raw.
+      // Multiplicities of the collapsed rows are carried by the fresh
+      // count (Σ Π old counts), which downstream evaluation applies.
+      out.slots.push_back(new_slot);
+      continue;
+    }
+
+    ExecAggregate agg;
+    agg.output = names->FreshPartial();
+    if (!slot.partialized) {
+      // Partialize: inner decomposition, scaled by all old counts.
+      agg.kind = InnerDecomposition(f.kind);
+      agg.arg = ArgColumn(query, f);
+      agg.multipliers = CountNames(state);
+    } else {
+      // Re-aggregate an existing partial: outer decomposition, scaled by
+      // the old counts except the partial's home count.
+      AggKind inner = InnerDecomposition(f.kind);
+      agg.kind = OuterDecomposition(inner);
+      agg.arg = slot.partial_column;
+      if (IsDuplicateAgnostic(f)) {
+        // min/max: no scaling needed.
+      } else {
+        agg.multipliers = CountNamesExcept(state, slot.home_count);
+      }
+    }
+    aggs_out->push_back(agg);
+
+    new_slot.partialized = true;
+    new_slot.partial_column = aggs_out->back().output;
+    new_slot.home_count = 0;  // the fresh count, inserted below
+    out.slots.push_back(new_slot);
+  }
+
+  // The fresh count: Σ Π old counts (plain count(*) when no counts live).
+  ExecAggregate count_agg;
+  count_agg.output = fresh_count;
+  count_agg.kind = AggKind::kCountStar;
+  count_agg.multipliers = CountNames(state);
+  aggs_out->push_back(count_agg);
+  out.counts.push_back({fresh_count});
+  return out;
+}
+
+std::vector<ExecAggregate> BuildFinalAggregates(const Query& query,
+                                                const PlanAggState& state) {
+  std::vector<ExecAggregate> out;
+  const AggregateVector& aggs = query.aggregates();
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggregateFunction& f = aggs[i];
+    ExecAggregate agg;
+    agg.output = f.output;
+
+    if (f.arg < 0) {
+      // count(*): Σ Π live counts.
+      agg.kind = AggKind::kCountStar;
+      agg.multipliers = CountNames(state);
+      out.push_back(agg);
+      continue;
+    }
+
+    const AggSlot* slot = nullptr;
+    for (const AggSlot& s : state.slots) {
+      if (s.query_index == static_cast<int>(i)) {
+        slot = &s;
+        break;
+      }
+    }
+    assert(slot != nullptr && "aggregate argument not covered by plan");
+
+    if (!slot->partialized) {
+      agg.kind = f.kind;
+      agg.arg = query.catalog().attribute(f.arg).name;
+      agg.distinct = f.distinct;
+      if (!IsDuplicateAgnostic(f)) agg.multipliers = CountNames(state);
+    } else {
+      AggKind inner = InnerDecomposition(f.kind);
+      agg.kind = OuterDecomposition(inner);
+      agg.arg = slot->partial_column;
+      if (!IsDuplicateAgnostic(f)) {
+        agg.multipliers = CountNamesExcept(state, slot->home_count);
+      }
+    }
+    out.push_back(agg);
+  }
+  return out;
+}
+
+std::vector<MapExpr> BuildFinalMap(const Query& query,
+                                   const PlanAggState& state) {
+  std::vector<MapExpr> out;
+  const AggregateVector& aggs = query.aggregates();
+  std::vector<std::string> all_counts = CountNames(state);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggregateFunction& f = aggs[i];
+    MapExpr e;
+    e.output = f.output;
+
+    if (f.arg < 0) {
+      e.kind = MapExpr::Kind::kCountProduct;
+      e.counts = all_counts;
+      out.push_back(e);
+      continue;
+    }
+
+    const AggSlot* slot = nullptr;
+    for (const AggSlot& s : state.slots) {
+      if (s.query_index == static_cast<int>(i)) {
+        slot = &s;
+        break;
+      }
+    }
+    assert(slot != nullptr);
+
+    std::string arg = slot->partialized
+                          ? slot->partial_column
+                          : query.catalog().attribute(f.arg).name;
+    std::vector<std::string> counts =
+        slot->partialized ? CountNamesExcept(state, slot->home_count)
+                          : all_counts;
+
+    // A single result row represents Π counts original tuples that all
+    // share this row's raw attribute values (see DESIGN.md), so:
+    if (IsDuplicateAgnostic(f)) {
+      if (IsCountLike(f.kind)) {
+        // count(distinct a) of identical copies: 0 or 1.
+        e.kind = MapExpr::Kind::kCountIfNotNull;
+        e.arg = arg;  // counts empty -> product is 1
+      } else {
+        // min/max/sum(distinct)/avg(distinct) of identical copies: the value.
+        e.kind = MapExpr::Kind::kCopy;
+        e.arg = arg;
+      }
+    } else if (IsCountLike(f.kind) && !slot->partialized) {
+      e.kind = MapExpr::Kind::kCountIfNotNull;
+      e.arg = arg;
+      e.counts = counts;
+    } else if (f.kind == AggKind::kSum ||
+               (slot->partialized && IsCountLike(f.kind))) {
+      // sum (raw or partial) and partialized counts scale by the counts.
+      e.kind = MapExpr::Kind::kMulCounts;
+      e.arg = arg;
+      e.counts = counts;
+    } else {
+      // min/max.
+      e.kind = MapExpr::Kind::kCopy;
+      e.arg = arg;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SymbolicDefault> OuterJoinDefaults(const Query& query,
+                                               const PlanAggState& state) {
+  std::vector<SymbolicDefault> out;
+  for (const CountColumn& c : state.counts) {
+    out.push_back({c.column, /*one=*/true});
+  }
+  for (const AggSlot& slot : state.slots) {
+    if (!slot.partialized) continue;
+    const AggregateFunction& f = Original(query, slot);
+    AggKind inner = InnerDecomposition(f.kind);
+    switch (DefaultOnNullTuple(inner)) {
+      case NullTupleDefault::kOne:
+        out.push_back({slot.partial_column, /*one=*/true});
+        break;
+      case NullTupleDefault::kZero:
+        out.push_back({slot.partial_column, /*one=*/false});
+        break;
+      case NullTupleDefault::kNull:
+        break;  // plain NULL padding
+    }
+  }
+  return out;
+}
+
+}  // namespace eadp

@@ -1,0 +1,87 @@
+#include "plangen/dp_table.h"
+
+#include <algorithm>
+
+#include "catalog/functional_dependency.h"
+#include "plangen/plan_fds.h"
+
+namespace eadp {
+
+const std::vector<PlanPtr> DpTable::kEmpty;
+
+bool Dominates(const PlanNode& a, const PlanNode& b, bool use_cardinality,
+               bool use_keys, bool use_full_fds) {
+  if (a.cost > b.cost) return false;
+  if (use_cardinality && a.cardinality > b.cardinality) return false;
+  // The raw (uncapped) estimate feeds downstream inner-join chains, so it
+  // is future-relevant state exactly like the cardinality.
+  if (use_cardinality && a.raw_cardinality > b.raw_cardinality) return false;
+  if (use_keys) {
+    if (!a.duplicate_free && b.duplicate_free) return false;
+    if (!KeysDominate(a.keys, b.keys)) return false;
+  }
+  if (use_full_fds && !FdsDominate(a.fds, b.fds)) return false;
+  return true;
+}
+
+const std::vector<PlanPtr>& DpTable::Plans(RelSet rels) const {
+  auto it = table_.find(rels.bits());
+  return it == table_.end() ? kEmpty : it->second;
+}
+
+PlanPtr DpTable::Best(RelSet rels) const {
+  const std::vector<PlanPtr>& plans = Plans(rels);
+  PlanPtr best;
+  for (const PlanPtr& p : plans) {
+    if (!best || p->cost < best->cost) best = p;
+  }
+  return best;
+}
+
+bool DpTable::InsertIfCheaper(RelSet rels, PlanPtr plan) {
+  std::vector<PlanPtr>& list = table_[rels.bits()];
+  if (list.empty()) {
+    list.push_back(std::move(plan));
+    return true;
+  }
+  if (plan->cost < list[0]->cost) {
+    list[0] = std::move(plan);
+    return true;
+  }
+  return false;
+}
+
+void DpTable::Append(RelSet rels, PlanPtr plan) {
+  table_[rels.bits()].push_back(std::move(plan));
+}
+
+bool DpTable::InsertPruned(RelSet rels, PlanPtr plan) {
+  std::vector<PlanPtr>& list = table_[rels.bits()];
+  for (const PlanPtr& old : list) {
+    if (Dominates(*old, *plan, use_cardinality_, use_keys_, use_full_fds_)) {
+      return false;
+    }
+  }
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const PlanPtr& old) {
+                              return Dominates(*plan, *old, use_cardinality_,
+                                               use_keys_, use_full_fds_);
+                            }),
+             list.end());
+  list.push_back(std::move(plan));
+  return true;
+}
+
+void DpTable::ReplaceSingle(RelSet rels, PlanPtr plan) {
+  std::vector<PlanPtr>& list = table_[rels.bits()];
+  list.clear();
+  list.push_back(std::move(plan));
+}
+
+size_t DpTable::TotalPlans() const {
+  size_t n = 0;
+  for (const auto& [_, plans] : table_) n += plans.size();
+  return n;
+}
+
+}  // namespace eadp

@@ -1,0 +1,79 @@
+// The DP table: plan lists per relation set, with insertion policies.
+//
+// The basic generator keeps a single plan per plan class (Fig. 5); the
+// complete generators keep a list (Fig. 9), optionally filtered by the
+// optimality-preserving dominance pruning of Fig. 13: a tree T2 is
+// discarded if some T1 has Cost(T1) <= Cost(T2), |T1| <= |T2| and
+// FD+(T1) ⊇ FD+(T2) — the FD condition implemented, as the paper suggests,
+// by comparing candidate key sets (plus duplicate-freeness).
+
+#ifndef EADP_PLANGEN_DP_TABLE_H_
+#define EADP_PLANGEN_DP_TABLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+/// True iff `a` dominates `b` (same relation set assumed): a is no more
+/// expensive, no larger, and retains at least b's key knowledge and
+/// duplicate-freeness (Def. 4, with keys for FD+). The cardinality and key
+/// criteria can be disabled for ablation experiments; with
+/// `use_full_fds`, the unweakened FD-closure comparison of Def. 4 is
+/// applied on top (requires BuilderOptions::track_fds).
+bool Dominates(const PlanNode& a, const PlanNode& b, bool use_cardinality,
+               bool use_keys, bool use_full_fds = false);
+inline bool Dominates(const PlanNode& a, const PlanNode& b) {
+  return Dominates(a, b, /*use_cardinality=*/true, /*use_keys=*/true);
+}
+
+class DpTable {
+ public:
+  /// Configures the dominance test used by InsertPruned (ablations).
+  void SetDominanceOptions(bool use_cardinality, bool use_keys,
+                           bool use_full_fds = false) {
+    use_cardinality_ = use_cardinality;
+    use_keys_ = use_keys;
+    use_full_fds_ = use_full_fds;
+  }
+
+  /// Plans stored for `rels` (empty vector if none).
+  const std::vector<PlanPtr>& Plans(RelSet rels) const;
+
+  /// True if at least one plan is stored for `rels`.
+  bool Has(RelSet rels) const { return !Plans(rels).empty(); }
+
+  /// The single best (cheapest) plan for `rels`, or nullptr.
+  PlanPtr Best(RelSet rels) const;
+
+  /// Keeps only the cheapest plan per class (BuildPlans / Fig. 5 policy).
+  /// Returns true if `plan` was kept.
+  bool InsertIfCheaper(RelSet rels, PlanPtr plan);
+
+  /// Appends unconditionally (BuildPlansAll / Fig. 9 policy).
+  void Append(RelSet rels, PlanPtr plan);
+
+  /// PruneDominatedPlans of Fig. 13. Returns true if `plan` was kept.
+  bool InsertPruned(RelSet rels, PlanPtr plan);
+
+  /// Clears the class and stores exactly `plan` (H2's replacement step).
+  void ReplaceSingle(RelSet rels, PlanPtr plan);
+
+  /// Total number of plans across all classes.
+  size_t TotalPlans() const;
+  size_t NumClasses() const { return table_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<PlanPtr>> table_;
+  bool use_cardinality_ = true;
+  bool use_keys_ = true;
+  bool use_full_fds_ = false;
+  static const std::vector<PlanPtr> kEmpty;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_DP_TABLE_H_

@@ -1,0 +1,112 @@
+#include "plangen/keys.h"
+
+#include "catalog/functional_dependency.h"
+
+namespace eadp {
+
+bool HasKeySubset(const std::vector<AttrSet>& keys, AttrSet attrs) {
+  for (AttrSet k : keys) {
+    if (k.IsSubsetOf(attrs)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Every pair of keys from the two sides forms a key (Sec. 2.3, general
+/// case). Truncated at kMaxKeysPerPlan.
+std::vector<AttrSet> PairwiseKeyUnions(const std::vector<AttrSet>& a,
+                                       const std::vector<AttrSet>& b) {
+  std::vector<AttrSet> out;
+  for (AttrSet ka : a) {
+    for (AttrSet kb : b) {
+      InsertMinimalKey(out, ka.Union(kb));
+      if (out.size() >= kMaxKeysPerPlan) return out;
+    }
+  }
+  return out;
+}
+
+std::vector<AttrSet> MergedKeys(const std::vector<AttrSet>& a,
+                                const std::vector<AttrSet>& b) {
+  std::vector<AttrSet> out = a;
+  for (AttrSet kb : b) {
+    InsertMinimalKey(out, kb);
+    if (out.size() >= kMaxKeysPerPlan) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+KeyProperties ComputeJoinKeys(PlanOp plan_op, const Catalog& catalog,
+                              const PlanNode& left, const PlanNode& right,
+                              const JoinPredicate& pred) {
+  KeyProperties out;
+
+  // Semijoin, antijoin and groupjoin: κ(e1 ◦ e2) = κ(e1) (Sec. 2.3.4).
+  if (plan_op == PlanOp::kLeftSemi || plan_op == PlanOp::kLeftAnti ||
+      plan_op == PlanOp::kGroupJoin) {
+    out.keys = left.keys;
+    out.duplicate_free = left.duplicate_free;
+    return out;
+  }
+
+  AttrSet refs = pred.ReferencedAttrs();
+  AttrSet left_attrs = catalog.AttributesOf(left.rels);
+  AttrSet right_attrs = catalog.AttributesOf(right.rels);
+  AttrSet j1 = refs.Intersect(left_attrs);
+  AttrSet j2 = refs.Intersect(right_attrs);
+  bool j1_is_key = left.duplicate_free && HasKeySubset(left.keys, j1);
+  bool j2_is_key = right.duplicate_free && HasKeySubset(right.keys, j2);
+
+  out.duplicate_free = left.duplicate_free && right.duplicate_free;
+
+  switch (plan_op) {
+    case PlanOp::kJoin:
+      // A1 key of e1 -> every e2 row joins at most one e1 row, so e2's keys
+      // stay unique in the result, and vice versa (Sec. 2.3.1).
+      if (j1_is_key && j2_is_key) {
+        out.keys = MergedKeys(left.keys, right.keys);
+      } else if (j1_is_key) {
+        out.keys = right.keys;
+      } else if (j2_is_key) {
+        out.keys = left.keys;
+      } else {
+        out.keys = PairwiseKeyUnions(left.keys, right.keys);
+      }
+      break;
+    case PlanOp::kLeftOuter:
+      // A2 key of e2 -> κ(e1) (Sec. 2.3.2); else pairwise unions.
+      if (j2_is_key) {
+        out.keys = left.keys;
+      } else {
+        out.keys = PairwiseKeyUnions(left.keys, right.keys);
+      }
+      break;
+    case PlanOp::kFullOuter:
+      out.keys = PairwiseKeyUnions(left.keys, right.keys);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+KeyProperties ComputeGroupingKeys(const PlanNode& child, AttrSet group_by) {
+  KeyProperties out;
+  out.duplicate_free = true;
+  for (AttrSet k : child.keys) {
+    // Keys fully contained in the grouping attributes remain keys: a key
+    // value identifies its input row and therefore its group.
+    if (k.IsSubsetOf(group_by)) InsertMinimalKey(out.keys, k);
+  }
+  InsertMinimalKey(out.keys, group_by);
+  return out;
+}
+
+bool NeedsGrouping(AttrSet g, const PlanNode& t) {
+  return !(t.duplicate_free && HasKeySubset(t.keys, g));
+}
+
+}  // namespace eadp

@@ -1,0 +1,53 @@
+// Key inference κ and the NeedsGrouping test (paper Sec. 2.3 and Fig. 7).
+//
+// Keys of base relations come from the schema; keys of intermediate results
+// follow the per-operator rules of Sec. 2.3. A key set is kept minimal
+// (no key a superset of another) and bounded in size. Duplicate-freeness is
+// tracked alongside: a grouping result is duplicate-free, base relations
+// are duplicate-free iff they declare a key (SQL remark in Sec. 3.2), and
+// binary operators preserve duplicate-freeness of the surviving sides.
+
+#ifndef EADP_PLANGEN_KEYS_H_
+#define EADP_PLANGEN_KEYS_H_
+
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "catalog/catalog.h"
+#include "common/bitset.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+/// Result of key inference for one operator application.
+struct KeyProperties {
+  std::vector<AttrSet> keys;
+  bool duplicate_free = false;
+};
+
+/// Upper bound on tracked candidate keys per plan (cross-combinations are
+/// truncated beyond this; fewer keys is always safe, it only makes
+/// NeedsGrouping more conservative).
+inline constexpr size_t kMaxKeysPerPlan = 8;
+
+/// True iff some key in `keys` is a subset of `attrs` (i.e. `attrs` is a
+/// superkey).
+bool HasKeySubset(const std::vector<AttrSet>& keys, AttrSet attrs);
+
+/// κ for a binary operator (paper Sec. 2.3). `plan_op` is the plan node
+/// kind; `pred` the combined predicate applied at the node.
+KeyProperties ComputeJoinKeys(PlanOp plan_op, const Catalog& catalog,
+                              const PlanNode& left, const PlanNode& right,
+                              const JoinPredicate& pred);
+
+/// κ for Γ_{group_by}: group_by becomes a key; child keys that survive the
+/// projection onto group_by remain keys. The result is duplicate-free.
+KeyProperties ComputeGroupingKeys(const PlanNode& child, AttrSet group_by);
+
+/// NeedsGrouping(G, T) of Fig. 7: false iff some key of T is contained in G
+/// and T is duplicate-free.
+bool NeedsGrouping(AttrSet g, const PlanNode& t);
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_KEYS_H_

@@ -1,0 +1,313 @@
+#include "plangen/op_trees.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "plangen/keys.h"
+#include "plangen/plan_fds.h"
+
+namespace eadp {
+
+PlanBuilder::PlanBuilder(const Query* query, const ConflictDetector* conflicts,
+                         const BuilderOptions& options)
+    : query_(query),
+      conflicts_(conflicts),
+      options_(options),
+      estimator_(&query->catalog()) {}
+
+PlanPtr PlanBuilder::MakeScan(int rel) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanOp::kScan;
+  node->rels = RelSet::Single(rel);
+  node->relation = rel;
+  node->cardinality = estimator_.BaseCardinality(rel);
+  node->raw_cardinality = node->cardinality;
+  node->pregroup_cardinality = node->cardinality;
+  node->cost = cost_model_.ScanCost();
+  const RelationDef& def = query_->catalog().relation(rel);
+  node->keys = def.keys;
+  node->duplicate_free = def.duplicate_free;
+  node->agg_state = LeafAggState(*query_, rel);
+  if (options_.track_fds) node->fds = ScanFds(query_->catalog(), rel);
+  ++plans_built_;
+  return node;
+}
+
+CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) const {
+  CrossingOps out;
+  RelSet s = s1.Union(s2);
+  const std::vector<QueryOp>& ops = query_->ops();
+  int primary = -1;
+  std::vector<int> crossing;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    RelSet ses = conflicts_->conflicts(static_cast<int>(i)).ses;
+    if (!ses.Intersects(s1) || !ses.Intersects(s2)) continue;
+    // An operator referencing relations outside S stays pending: it is
+    // applied at the unique higher cut where its SES is first fully
+    // contained (e.g. Q5's cycle-closing c_nationkey = s_nationkey).
+    if (!ses.IsSubsetOf(s)) continue;
+    if (ops[i].kind != OpKind::kJoin) {
+      if (primary >= 0) return out;  // two non-inner operators on one cut
+      primary = static_cast<int>(i);
+    }
+    crossing.push_back(static_cast<int>(i));
+  }
+  if (crossing.empty()) return out;
+
+  // Primary operator first.
+  if (primary >= 0) {
+    for (size_t k = 0; k < crossing.size(); ++k) {
+      if (crossing[k] == primary) {
+        std::swap(crossing[0], crossing[k]);
+        break;
+      }
+    }
+    // Mixed non-inner + extra inner predicates on one cut would need the
+    // extra predicates folded into the non-inner operator's semantics;
+    // conservatively rejected (cannot occur for tree-shaped queries).
+    if (crossing.size() > 1) return out;
+  }
+  out.primary_kind = ops[static_cast<size_t>(crossing[0])].kind;
+
+  // Orientation: every crossing operator must be applicable with (a, b) as
+  // (left, right) arguments; commutative operators accept either side
+  // assignment. A non-commutative primary in the swapped orientation means
+  // the plan is built with left = plan(s2) — the swap flag tells the caller.
+  auto applicable_all = [&](RelSet a, RelSet b) {
+    for (int i : crossing) {
+      bool ok = conflicts_->Applicable(i, a, b);
+      if (!ok && IsCommutative(ops[static_cast<size_t>(i)].kind)) {
+        ok = conflicts_->Applicable(i, b, a);
+      }
+      if (!ok) return false;
+    }
+    return true;
+  };
+  if (applicable_all(s1, s2)) {
+    out.swap = false;
+  } else if (applicable_all(s2, s1)) {
+    out.swap = true;
+  } else {
+    return out;
+  }
+  out.ops = std::move(crossing);
+  out.valid = true;
+  return out;
+}
+
+PlanPtr PlanBuilder::MakeJoin(const PlanPtr& left, const PlanPtr& right,
+                              const CrossingOps& crossing) {
+  const std::vector<QueryOp>& ops = query_->ops();
+  const QueryOp& primary = ops[static_cast<size_t>(crossing.ops[0])];
+
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanOpFromOpKind(crossing.primary_kind);
+  node->rels = left->rels.Union(right->rels);
+  node->left = left;
+  node->right = right;
+  node->op_indices = crossing.ops;
+  double selectivity = 1;
+  for (int i : crossing.ops) {
+    const QueryOp& op = ops[static_cast<size_t>(i)];
+    selectivity *= op.selectivity;
+    for (const AttrEquality& eq : op.predicate.equalities()) {
+      node->predicate.AddEquality(eq.left_attr, eq.right_attr);
+    }
+  }
+  node->selectivity = selectivity;
+  node->groupjoin_aggs = primary.groupjoin_aggs;
+
+  // Default vectors for the generalized outer joins: whenever a side that
+  // can be null-padded carries generated aggregation columns, pad them with
+  // c:1 / F¹({⊥}) instead of NULL (Eqvs. 12/14/15 and DESIGN.md).
+  if (node->op == PlanOp::kLeftOuter || node->op == PlanOp::kFullOuter) {
+    node->right_defaults = OuterJoinDefaults(*query_, right->agg_state);
+  }
+  if (node->op == PlanOp::kFullOuter) {
+    node->left_defaults = OuterJoinDefaults(*query_, left->agg_state);
+  }
+
+  KeyProperties keys = ComputeJoinKeys(node->op, query_->catalog(), *left,
+                                       *right, node->predicate);
+  node->keys = std::move(keys.keys);
+  node->duplicate_free = keys.duplicate_free;
+
+  if (node->op == PlanOp::kJoin) {
+    // Inner joins chain the uncapped independence product (order
+    // invariant) and apply this node's key-implied bound locally.
+    node->raw_cardinality =
+        left->raw_cardinality * right->raw_cardinality * selectivity;
+    node->cardinality = node->raw_cardinality;
+  } else {
+    // Semijoin/antijoin match probability is driven by the distinct join
+    // values on the right (invariant under grouping of the right side).
+    double right_match_distinct = right->cardinality;
+    if (node->op == PlanOp::kLeftSemi || node->op == PlanOp::kLeftAnti) {
+      // Distinct join values bound by the grouping-invariant product, so
+      // grouped and ungrouped right sides estimate the same existence
+      // probability.
+      AttrSet j2 = node->predicate.ReferencedAttrs().Intersect(
+          query_->catalog().AttributesOf(right->rels));
+      right_match_distinct =
+          estimator_.GroupingCardinality(j2, right->pregroup_cardinality);
+    }
+    node->cardinality = estimator_.JoinCardinality(
+        crossing.primary_kind, left->cardinality, right->cardinality,
+        selectivity, right_match_distinct);
+  }
+  // Keys certify uniqueness: cap the estimate by the key-implied bound so
+  // estimates stay consistent with κ (see DESIGN.md).
+  if (node->duplicate_free) {
+    node->cardinality =
+        std::min(node->cardinality, estimator_.KeyImpliedBound(node->keys));
+  }
+  // Non-inner operators restart the raw chain from their capped estimate.
+  if (node->op != PlanOp::kJoin) node->raw_cardinality = node->cardinality;
+  node->pregroup_cardinality =
+      left->pregroup_cardinality * right->pregroup_cardinality * selectivity;
+  node->cost = cost_model_.BinaryOpCost(node->cardinality, left->cost,
+                                        right->cost);
+
+  if (LeftOnlyOutput(crossing.primary_kind)) {
+    // Right-side attributes (and any generated columns there) are gone.
+    // Queries never aggregate over hidden relations, so the right state
+    // must not carry aggregate slots.
+    assert(right->agg_state.slots.empty() &&
+           "aggregate over a relation hidden by a semi/anti/group join");
+    node->agg_state = left->agg_state;
+  } else {
+    node->agg_state = MergeAggStates(left->agg_state, right->agg_state);
+  }
+  if (options_.track_fds) {
+    node->fds = JoinFds(node->op, left->fds, right->fds, node->predicate);
+  }
+  ++plans_built_;
+  return node;
+}
+
+bool PlanBuilder::CanPushGrouping(const PlanPtr& child, OpKind parent,
+                                  bool left_side) const {
+  // Fig. 3: semijoin, antijoin and groupjoin admit the push on the left
+  // side only; inner/outer joins on both sides (right side of E and both
+  // sides of K via the generalized outerjoin with defaults).
+  if (!left_side && LeftOnlyOutput(parent)) return false;
+  // Grouping a grouping is never useful (its grouping attributes are
+  // already a key).
+  if (child->op == PlanOp::kGroup) return false;
+  // A pending groupjoin must see raw rows on its right side.
+  if (query_->PendingGroupJoinRightIntersects(child->rels)) return false;
+  AttrSet g_plus = query_->GroupByPlus(child->rels);
+  if (!NeedsGrouping(g_plus, *child)) return false;  // waste (Fig. 6)
+  return CanGroup(*query_, child->agg_state, g_plus);
+}
+
+PlanPtr PlanBuilder::MakeGrouping(const PlanPtr& child) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = PlanOp::kGroup;
+  node->rels = child->rels;
+  node->left = child;
+  node->group_by = query_->GroupByPlus(child->rels);
+  node->agg_state = BuildGroupingSpec(*query_, child->agg_state,
+                                      node->group_by, &names_,
+                                      &node->group_aggs);
+  node->cardinality =
+      estimator_.GroupingCardinality(node->group_by, child->cardinality);
+  KeyProperties keys = ComputeGroupingKeys(*child, node->group_by);
+  node->keys = std::move(keys.keys);
+  node->duplicate_free = true;
+  // Inherited child keys contained in G+ may bound the result below the
+  // independence estimate.
+  node->cardinality =
+      std::min(node->cardinality, estimator_.KeyImpliedBound(node->keys));
+  node->raw_cardinality = node->cardinality;  // the chain restarts at a Γ
+  node->pregroup_cardinality = child->pregroup_cardinality;
+  if (options_.track_fds) {
+    node->fds = GroupingFds(child->fds, node->group_by);
+  }
+  node->cost = cost_model_.GroupingCost(node->cardinality, child->cost);
+  ++plans_built_;
+  return node;
+}
+
+void PlanBuilder::OpTrees(const PlanPtr& t1, const PlanPtr& t2,
+                          const CrossingOps& crossing,
+                          std::vector<PlanPtr>* out) {
+  bool top = t1->rels.Union(t2->rels) == query_->AllRelations();
+  auto add = [&](PlanPtr t) {
+    out->push_back(top ? FinalizeTop(t) : std::move(t));
+  };
+
+  add(MakeJoin(t1, t2, crossing));
+
+  bool push_left = CanPushGrouping(t1, crossing.primary_kind, true);
+  bool push_right = CanPushGrouping(t2, crossing.primary_kind, false);
+  PlanPtr g1 = push_left ? MakeGrouping(t1) : nullptr;
+  PlanPtr g2 = push_right ? MakeGrouping(t2) : nullptr;
+
+  if (push_left) add(MakeJoin(g1, t2, crossing));
+  if (push_right) add(MakeJoin(t1, g2, crossing));
+  if (push_left && push_right) add(MakeJoin(g1, g2, crossing));
+}
+
+PlanPtr PlanBuilder::FinalizeTop(const PlanPtr& t) {
+  AttrSet g = query_->group_by();
+  const Catalog& catalog = query_->catalog();
+
+  PlanPtr below = t;
+  if (!options_.top_grouping_elimination || NeedsGrouping(g, *t)) {
+    auto group = std::make_shared<PlanNode>();
+    group->op = PlanOp::kFinalGroup;
+    group->rels = t->rels;
+    group->left = t;
+    group->group_by = g;
+    group->group_aggs = BuildFinalAggregates(*query_, t->agg_state);
+    group->cardinality = estimator_.GroupingCardinality(g, t->cardinality);
+    group->raw_cardinality = group->cardinality;
+    group->pregroup_cardinality = t->pregroup_cardinality;
+    group->cost = cost_model_.GroupingCost(group->cardinality, t->cost);
+    KeyProperties keys = ComputeGroupingKeys(*t, g);
+    group->keys = std::move(keys.keys);
+    group->duplicate_free = true;
+    ++plans_built_;
+    below = group;
+  }
+
+  // Final map: on the Eqv. 42 path it computes every aggregate from the
+  // single row of its group; after a final grouping it only reconstitutes
+  // avg slots. Both paths end with a projection to the query's output
+  // schema, so all plans (and the canonical evaluation) are comparable.
+  auto map = std::make_shared<PlanNode>();
+  map->op = PlanOp::kFinalMap;
+  map->rels = below->rels;
+  map->left = below;
+  if (below->op != PlanOp::kFinalGroup) {
+    map->final_map = BuildFinalMap(*query_, below->agg_state);
+  }
+  for (const FinalDivision& div : query_->final_divisions()) {
+    MapExpr e;
+    e.output = div.output;
+    e.kind = MapExpr::Kind::kDiv;
+    e.arg = query_->aggregates()[static_cast<size_t>(div.numerator_slot)]
+                .output;
+    e.arg2 = query_->aggregates()[static_cast<size_t>(div.denominator_slot)]
+                 .output;
+    map->final_map.push_back(std::move(e));
+  }
+  for (int a : BitsOf(g)) map->output_columns.push_back(catalog.attribute(a).name);
+  for (const AggregateFunction& f : query_->aggregates()) {
+    map->output_columns.push_back(f.output);
+  }
+  for (const FinalDivision& div : query_->final_divisions()) {
+    map->output_columns.push_back(div.output);
+  }
+  map->cardinality = below->cardinality;
+  map->raw_cardinality = below->raw_cardinality;
+  map->pregroup_cardinality = below->pregroup_cardinality;
+  map->cost = cost_model_.MapCost(below->cost);
+  map->keys = below->keys;
+  map->duplicate_free = below->duplicate_free;
+  ++plans_built_;
+  return map;
+}
+
+}  // namespace eadp

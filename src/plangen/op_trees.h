@@ -1,0 +1,106 @@
+// PlanBuilder: constructs plan nodes and the OpTrees variants (Fig. 6).
+//
+// Given two subplans T1, T2 and the set of input operators that cross the
+// (S1, S2) cut, OpTrees produces up to four join trees:
+//     T1 ◦ T2,  Γ(T1) ◦ T2,  T1 ◦ Γ(T2),  Γ(T1) ◦ Γ(T2),
+// where Γ groups on G_i^+ (grouping attributes plus pending join
+// attributes). Validity of a pushed grouping (the paper's Valid test)
+// combines three checks:
+//   * the operator admits the push on that side (Fig. 3: inner and full
+//     outer joins on both sides, left outerjoin on both sides — the right
+//     side via the generalized outerjoin with defaults — semijoin, antijoin
+//     and groupjoin on the left side only);
+//   * the affected part of the aggregation vector is decomposable
+//     (agg_state.h CanGroup);
+//   * NeedsGrouping(G_i^+, T_i) holds — otherwise the grouping is a waste
+//     (Fig. 6, lines 10/15/20).
+//
+// When S1 ∪ S2 covers the whole query, every produced tree is finalized:
+// either a top grouping Γ_G is added, or — if G contains a key and the
+// input is duplicate-free — the grouping is replaced by a map + projection
+// (Eqv. 42).
+
+#ifndef EADP_PLANGEN_OP_TREES_H_
+#define EADP_PLANGEN_OP_TREES_H_
+
+#include <vector>
+
+#include "algebra/query.h"
+#include "cardinality/estimator.h"
+#include "conflict/conflict_detector.h"
+#include "cost/cost_model.h"
+#include "plangen/agg_state.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+/// The input operators applied at one csg-cmp-pair. All operators whose SES
+/// spans the (S1, S2) cut are applied together (their predicates conjoin
+/// and selectivities multiply); at most one of them may be non-inner — it
+/// becomes the primary operator and determines the node kind.
+struct CrossingOps {
+  bool valid = false;
+  bool swap = false;  ///< apply with arguments (S2, S1) instead of (S1, S2)
+  std::vector<int> ops;  ///< op indexes, primary first
+  OpKind primary_kind = OpKind::kJoin;
+};
+
+/// Options that alter plan construction (used by ablation benches).
+struct BuilderOptions {
+  /// Replace an unnecessary top grouping by map + projection (Eqv. 42).
+  bool top_grouping_elimination = true;
+  /// Maintain full functional-dependency sets on every plan node
+  /// (needed by OptimizerOptions::full_fd_dominance).
+  bool track_fds = false;
+};
+
+class PlanBuilder {
+ public:
+  PlanBuilder(const Query* query, const ConflictDetector* conflicts,
+              const BuilderOptions& options = {});
+
+  /// Leaf plan: table scan of relation `rel`.
+  PlanPtr MakeScan(int rel);
+
+  /// Determines the operators crossing the (s1, s2) cut and whether they
+  /// can be applied there (conflict rules, orientation, single non-inner).
+  CrossingOps FindCrossingOps(RelSet s1, RelSet s2) const;
+
+  /// Builds `left ◦ right` for the crossing operators (orientation must
+  /// already match `crossing.swap`).
+  PlanPtr MakeJoin(const PlanPtr& left, const PlanPtr& right,
+                   const CrossingOps& crossing);
+
+  /// True iff Γ_{G+} may be pushed onto `child` when it becomes the
+  /// `left_side` argument of an operator of kind `parent`.
+  bool CanPushGrouping(const PlanPtr& child, OpKind parent,
+                       bool left_side) const;
+
+  /// Γ_{G+}(child). Precondition: CanPushGrouping.
+  PlanPtr MakeGrouping(const PlanPtr& child);
+
+  /// The OpTrees routine of Fig. 6. Appends up to four trees to `out`;
+  /// when S1 ∪ S2 covers the query, trees are finalized (top grouping or
+  /// Eqv. 42 map).
+  void OpTrees(const PlanPtr& t1, const PlanPtr& t2,
+               const CrossingOps& crossing, std::vector<PlanPtr>* out);
+
+  /// Adds the top grouping / finalization to a plan covering all relations.
+  PlanPtr FinalizeTop(const PlanPtr& t);
+
+  const CardinalityEstimator& estimator() const { return estimator_; }
+  uint64_t plans_built() const { return plans_built_; }
+
+ private:
+  const Query* query_;
+  const ConflictDetector* conflicts_;
+  BuilderOptions options_;
+  CardinalityEstimator estimator_;
+  CostModel cost_model_;
+  NameGenerator names_;
+  uint64_t plans_built_ = 0;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_OP_TREES_H_

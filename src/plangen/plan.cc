@@ -1,0 +1,82 @@
+#include "plangen/plan.h"
+
+#include "common/strings.h"
+
+namespace eadp {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kScan:
+      return "scan";
+    case PlanOp::kJoin:
+      return "join";
+    case PlanOp::kLeftSemi:
+      return "lsemi";
+    case PlanOp::kLeftAnti:
+      return "lanti";
+    case PlanOp::kLeftOuter:
+      return "louter";
+    case PlanOp::kFullOuter:
+      return "fouter";
+    case PlanOp::kGroupJoin:
+      return "groupjoin";
+    case PlanOp::kGroup:
+      return "group";
+    case PlanOp::kFinalGroup:
+      return "final-group";
+    case PlanOp::kFinalMap:
+      return "final-map";
+  }
+  return "?";
+}
+
+PlanOp PlanOpFromOpKind(OpKind kind) {
+  switch (kind) {
+    case OpKind::kJoin:
+      return PlanOp::kJoin;
+    case OpKind::kLeftSemi:
+      return PlanOp::kLeftSemi;
+    case OpKind::kLeftAnti:
+      return PlanOp::kLeftAnti;
+    case OpKind::kLeftOuter:
+      return PlanOp::kLeftOuter;
+    case OpKind::kFullOuter:
+      return PlanOp::kFullOuter;
+    case OpKind::kGroupJoin:
+      return PlanOp::kGroupJoin;
+  }
+  return PlanOp::kJoin;
+}
+
+std::string PlanNode::ToString(const Catalog& catalog, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s = pad + PlanOpName(op);
+  if (op == PlanOp::kScan) {
+    s += " " + catalog.relation(relation).name;
+  } else if (op == PlanOp::kGroup || op == PlanOp::kFinalGroup) {
+    s += " by {" + catalog.AttrSetToString(group_by) + "}";
+  } else if (IsBinary() && !predicate.empty()) {
+    s += " [" + predicate.ToString(catalog) + "]";
+  }
+  s += StrFormat("  (card=%.6g cost=%.6g)", cardinality, cost);
+  s += "\n";
+  if (left) s += left->ToString(catalog, indent + 1);
+  if (right) s += right->ToString(catalog, indent + 1);
+  return s;
+}
+
+int PlanNode::NodeCount() const {
+  int n = 1;
+  if (left) n += left->NodeCount();
+  if (right) n += right->NodeCount();
+  return n;
+}
+
+int PlanNode::PushedGroupingCount() const {
+  int n = op == PlanOp::kGroup ? 1 : 0;
+  if (left) n += left->PushedGroupingCount();
+  if (right) n += right->PushedGroupingCount();
+  return n;
+}
+
+}  // namespace eadp

@@ -1,0 +1,122 @@
+// Physical-ish plan trees produced by the plan generators.
+//
+// A PlanNode is immutable once built and shared between DP-table entries
+// (subplans are referenced via shared_ptr). Every node carries the derived
+// properties the generators need: relation set, estimated cardinality,
+// accumulated C_out cost, candidate keys κ (Sec. 2.3), duplicate-freeness,
+// and the aggregation state (see agg_state.h). Outer join nodes carry the
+// symbolic default vectors of the generalized outer joins (Eqvs. 7/8).
+
+#ifndef EADP_PLANGEN_PLAN_H_
+#define EADP_PLANGEN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/operator_tree.h"
+#include "algebra/predicate.h"
+#include "algebra/query.h"
+#include "catalog/functional_dependency.h"
+#include "common/bitset.h"
+#include "plangen/agg_state.h"
+
+namespace eadp {
+
+/// Plan node kinds. kGroup is a pushed-down grouping; kFinalGroup the top
+/// grouping Γ_G; kFinalMap the χ/Π finalization (Eqv. 42 path and avg
+/// reconstitution).
+enum class PlanOp {
+  kScan,
+  kJoin,
+  kLeftSemi,
+  kLeftAnti,
+  kLeftOuter,
+  kFullOuter,
+  kGroupJoin,
+  kGroup,
+  kFinalGroup,
+  kFinalMap,
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// Maps an input operator kind to its plan node kind.
+PlanOp PlanOpFromOpKind(OpKind kind);
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+struct PlanNode {
+  PlanOp op = PlanOp::kScan;
+  RelSet rels;
+
+  // kScan
+  int relation = -1;
+
+  // Binary operators.
+  PlanPtr left;
+  PlanPtr right;
+  std::vector<int> op_indices;  ///< query ops applied here (primary first)
+  JoinPredicate predicate;      ///< conjunction over all applied ops
+  double selectivity = 1.0;
+  AggregateVector groupjoin_aggs;              ///< primary op kGroupJoin
+  std::vector<SymbolicDefault> left_defaults;  ///< kFullOuter
+  std::vector<SymbolicDefault> right_defaults; ///< kLeftOuter/kFullOuter
+
+  // kGroup / kFinalGroup.
+  AttrSet group_by;
+  std::vector<ExecAggregate> group_aggs;
+
+  // kFinalMap.
+  std::vector<MapExpr> final_map;
+  std::vector<std::string> output_columns;
+
+  // Derived properties.
+  double cardinality = 0;
+  /// Uncapped independence-product cardinality along inner-join chains.
+  /// Key-implied caps (which make estimates consistent with κ) are applied
+  /// node-locally on top of this; chaining the *capped* values instead
+  /// would make estimates depend on join order and break the optimality of
+  /// dominance pruning (see DESIGN.md).
+  double raw_cardinality = 0;
+  /// Pure independence product over base cardinalities and applied
+  /// selectivities, ignoring groupings and preservation semantics. Fully
+  /// order-invariant; used as the grouping-invariant upper bound for the
+  /// distinct join values that drive semijoin/antijoin match probabilities.
+  double pregroup_cardinality = 0;
+  double cost = 0;
+  std::vector<AttrSet> keys;  ///< minimal candidate keys
+  bool duplicate_free = false;
+  /// Functional dependencies (populated only when
+  /// BuilderOptions::track_fds is set; see plan_fds.h).
+  FdSet fds;
+  PlanAggState agg_state;
+
+  /// Number of grouping operators that are direct children of this node's
+  /// top operator — the paper's Eagerness (Sec. 4.5).
+  int Eagerness() const {
+    int e = 0;
+    if (left && left->op == PlanOp::kGroup) ++e;
+    if (right && right->op == PlanOp::kGroup) ++e;
+    return e;
+  }
+
+  bool IsBinary() const {
+    return op != PlanOp::kScan && op != PlanOp::kGroup &&
+           op != PlanOp::kFinalGroup && op != PlanOp::kFinalMap;
+  }
+
+  /// Pretty-printed plan tree with per-node cost/cardinality.
+  std::string ToString(const Catalog& catalog, int indent = 0) const;
+
+  /// Number of operator nodes in the plan.
+  int NodeCount() const;
+
+  /// Number of kGroup nodes (pushed groupings) in the plan.
+  int PushedGroupingCount() const;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_PLAN_H_

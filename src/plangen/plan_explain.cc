@@ -1,0 +1,99 @@
+#include "plangen/plan_explain.h"
+
+#include "common/strings.h"
+
+namespace eadp {
+
+namespace {
+
+std::string NodeLabel(const PlanNode& node, const Catalog& catalog) {
+  std::string label = PlanOpName(node.op);
+  if (node.op == PlanOp::kScan) {
+    label += " " + catalog.relation(node.relation).name;
+  } else if (node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup) {
+    label += " {" + catalog.AttrSetToString(node.group_by) + "}";
+  } else if (node.IsBinary() && !node.predicate.empty()) {
+    label += " " + node.predicate.ToString(catalog);
+  }
+  return label;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+int EmitDot(const PlanNode& node, const Catalog& catalog, int* next_id,
+            std::string* out) {
+  int id = (*next_id)++;
+  *out += StrFormat(
+      "  n%d [shape=box,label=\"%s\\ncard=%.4g cost=%.4g\"%s];\n", id,
+      Escape(NodeLabel(node, catalog)).c_str(), node.cardinality, node.cost,
+      node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup
+          ? ",style=filled,fillcolor=lightblue"
+          : "");
+  if (node.left) {
+    int child = EmitDot(*node.left, catalog, next_id, out);
+    *out += StrFormat("  n%d -> n%d;\n", id, child);
+  }
+  if (node.right) {
+    int child = EmitDot(*node.right, catalog, next_id, out);
+    *out += StrFormat("  n%d -> n%d;\n", id, child);
+  }
+  return id;
+}
+
+void EmitJson(const PlanNode& node, const Catalog& catalog,
+              std::string* out) {
+  *out += "{\"op\":\"";
+  *out += PlanOpName(node.op);
+  *out += "\"";
+  if (node.op == PlanOp::kScan) {
+    *out += ",\"relation\":\"" + catalog.relation(node.relation).name + "\"";
+  }
+  if (node.IsBinary() && !node.predicate.empty()) {
+    *out += ",\"predicate\":\"" + Escape(node.predicate.ToString(catalog)) +
+            "\"";
+  }
+  if (node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup) {
+    *out += ",\"group_by\":\"" +
+            Escape(catalog.AttrSetToString(node.group_by)) + "\"";
+  }
+  *out += StrFormat(",\"cardinality\":%.6g,\"cost\":%.6g", node.cardinality,
+                    node.cost);
+  if (node.left || node.right) {
+    *out += ",\"children\":[";
+    if (node.left) EmitJson(*node.left, catalog, out);
+    if (node.right) {
+      *out += ",";
+      EmitJson(*node.right, catalog, out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string PlanToDot(const PlanPtr& plan, const Catalog& catalog) {
+  std::string out = "digraph plan {\n  rankdir=BT;\n";
+  if (plan) {
+    int next_id = 0;
+    EmitDot(*plan, catalog, &next_id, &out);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string PlanToJson(const PlanPtr& plan, const Catalog& catalog) {
+  if (!plan) return "null";
+  std::string out;
+  EmitJson(*plan, catalog, &out);
+  return out;
+}
+
+}  // namespace eadp

@@ -1,0 +1,26 @@
+// Plan explanation: Graphviz and machine-readable exports.
+//
+// ToDot renders a plan as a Graphviz digraph (operators as boxes annotated
+// with predicate/grouping, estimated cardinality and accumulated C_out);
+// ToJson produces a compact JSON document with the same information for
+// downstream tooling.
+
+#ifndef EADP_PLANGEN_PLAN_EXPLAIN_H_
+#define EADP_PLANGEN_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+/// Graphviz dot rendering of the plan.
+std::string PlanToDot(const PlanPtr& plan, const Catalog& catalog);
+
+/// JSON rendering: {"op": ..., "card": ..., "cost": ..., "children": [...]}.
+std::string PlanToJson(const PlanPtr& plan, const Catalog& catalog);
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_PLAN_EXPLAIN_H_

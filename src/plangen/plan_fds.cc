@@ -1,0 +1,63 @@
+#include "plangen/plan_fds.h"
+
+namespace eadp {
+
+FdSet ScanFds(const Catalog& catalog, int rel) {
+  FdSet fds;
+  const RelationDef& def = catalog.relation(rel);
+  for (AttrSet key : def.keys) {
+    fds.Add(key, def.attributes.Minus(key));
+  }
+  return fds;
+}
+
+FdSet JoinFds(PlanOp op, const FdSet& left, const FdSet& right,
+              const JoinPredicate& pred) {
+  FdSet fds = left;
+  switch (op) {
+    case PlanOp::kJoin:
+      fds.AddAll(right);
+      for (const AttrEquality& eq : pred.equalities()) {
+        fds.Add(AttrSet::Single(eq.left_attr),
+                AttrSet::Single(eq.right_attr));
+        fds.Add(AttrSet::Single(eq.right_attr),
+                AttrSet::Single(eq.left_attr));
+      }
+      break;
+    case PlanOp::kLeftOuter:
+    case PlanOp::kFullOuter:
+      // Padded rows agree with each other on the all-NULL side, so both
+      // inputs' FDs survive; the join equalities do not (a padded row has
+      // a non-NULL key side and a NULL padded side).
+      fds.AddAll(right);
+      break;
+    case PlanOp::kLeftSemi:
+    case PlanOp::kLeftAnti:
+    case PlanOp::kGroupJoin:
+      break;  // left FDs only
+    default:
+      break;
+  }
+  return fds;
+}
+
+FdSet GroupingFds(const FdSet& child, AttrSet group_by) {
+  // Collapsing rows preserves agreement among the surviving attributes;
+  // FDs mentioning aggregated-away attributes become vacuous upstream but
+  // are kept (they never mis-derive facts about surviving attributes:
+  // their left-hand sides can no longer be "contained in" any attribute
+  // set the optimizer asks about... they can, via closure chaining — so we
+  // restrict to FDs whose attributes all survive).
+  FdSet fds;
+  for (const FunctionalDependency& fd : child.fds()) {
+    if (fd.lhs.IsSubsetOf(group_by)) {
+      AttrSet rhs = fd.rhs.Intersect(group_by);
+      if (!rhs.empty()) fds.Add(fd.lhs, rhs);
+    }
+  }
+  return fds;
+}
+
+bool FdsDominate(const FdSet& a, const FdSet& b) { return a.Covers(b); }
+
+}  // namespace eadp

@@ -1,0 +1,46 @@
+// Functional-dependency tracking through plan operators.
+//
+// The dominance test of Sec. 4.6 compares FD closures: FD+(T1) ⊇ FD+(T2).
+// The paper weakens this to candidate-key comparison "in an actual
+// implementation"; this module provides the unweakened variant as an
+// optimizer option (OptimizerOptions::full_fd_dominance), used by the
+// pruning ablation to quantify what the weakening costs.
+//
+// Derivation rules (sound under the NULL-equals-NULL convention of
+// Sec. 2.3):
+//   * scan:        every declared key k yields k -> A(R);
+//   * inner join:  both inputs' FDs survive; each equality a = b adds
+//                  a -> b and b -> a;
+//   * outer joins: both inputs' FDs survive (padded rows agree on the
+//                  all-NULL side), but the equality FDs do NOT (unmatched
+//                  rows violate them);
+//   * semi/anti/groupjoin: left FDs survive;
+//   * grouping:    FDs among surviving attributes survive (collapsing rows
+//                  preserves agreement).
+
+#ifndef EADP_PLANGEN_PLAN_FDS_H_
+#define EADP_PLANGEN_PLAN_FDS_H_
+
+#include "algebra/predicate.h"
+#include "catalog/catalog.h"
+#include "catalog/functional_dependency.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+/// FDs of a base relation scan.
+FdSet ScanFds(const Catalog& catalog, int rel);
+
+/// FDs of a binary operator result.
+FdSet JoinFds(PlanOp op, const FdSet& left, const FdSet& right,
+              const JoinPredicate& pred);
+
+/// FDs of Γ_{group_by}(child).
+FdSet GroupingFds(const FdSet& child, AttrSet group_by);
+
+/// True iff `a`'s FD closure covers `b`'s (FD+(a) ⊇ FD+(b)).
+bool FdsDominate(const FdSet& a, const FdSet& b);
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_PLAN_FDS_H_

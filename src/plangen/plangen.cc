@@ -1,0 +1,172 @@
+#include "plangen/plangen.h"
+
+#include <chrono>
+
+#include "conflict/conflict_detector.h"
+#include "hypergraph/dphyp_enumerator.h"
+#include "plangen/dp_table.h"
+
+namespace eadp {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kDphyp:
+      return "DPhyp";
+    case Algorithm::kEaAll:
+      return "EA-All";
+    case Algorithm::kEaPrune:
+      return "EA-Prune";
+    case Algorithm::kH1:
+      return "H1";
+    case Algorithm::kH2:
+      return "H2";
+  }
+  return "?";
+}
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const Query& query, const OptimizerOptions& options)
+      : query_(query),
+        options_(options),
+        conflicts_(query),
+        builder_(&query, &conflicts_, BuilderWithFds(options)) {
+    dp_.SetDominanceOptions(!options.prune_without_cardinality,
+                            !options.prune_without_keys,
+                            options.full_fd_dominance);
+  }
+
+  static BuilderOptions BuilderWithFds(const OptimizerOptions& options) {
+    BuilderOptions b = options.builder;
+    b.track_fds |= options.full_fd_dominance;
+    return b;
+  }
+
+  OptimizeResult Run() {
+    auto start = std::chrono::steady_clock::now();
+    OptimizeResult result;
+
+    RelSet all = query_.AllRelations();
+    for (int r : BitsOf(all)) {
+      dp_.Append(RelSet::Single(r), builder_.MakeScan(r));
+    }
+
+    result.stats.ccp_count = EnumerateCsgCmpPairs(
+        conflicts_.hypergraph(),
+        [this](RelSet s1, RelSet s2) { OnCcp(s1, s2); });
+
+    if (all.Count() == 1) {
+      result.plan = builder_.FinalizeTop(dp_.Best(all));
+    } else if (options_.algorithm == Algorithm::kDphyp) {
+      // The baseline adds the single top grouping after join ordering.
+      PlanPtr joins = dp_.Best(all);
+      if (joins) result.plan = builder_.FinalizeTop(joins);
+    } else {
+      // The eager-aggregation generators finalize at insertion time.
+      result.plan = dp_.Best(all);
+    }
+
+    result.stats.plans_built = builder_.plans_built();
+    result.stats.table_plans = dp_.TotalPlans();
+    result.stats.table_classes = dp_.NumClasses();
+    result.stats.optimize_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+  }
+
+ private:
+  void OnCcp(RelSet s1, RelSet s2) {
+    CrossingOps crossing = builder_.FindCrossingOps(s1, s2);
+    if (!crossing.valid) return;
+    RelSet a = crossing.swap ? s2 : s1;
+    RelSet b = crossing.swap ? s1 : s2;
+    RelSet s = s1.Union(s2);
+    bool top = s == query_.AllRelations();
+
+    switch (options_.algorithm) {
+      case Algorithm::kDphyp: {
+        PlanPtr t1 = dp_.Best(a);
+        PlanPtr t2 = dp_.Best(b);
+        if (!t1 || !t2) return;
+        dp_.InsertIfCheaper(s, builder_.MakeJoin(t1, t2, crossing));
+        break;
+      }
+      case Algorithm::kH1:
+      case Algorithm::kH2: {
+        PlanPtr t1 = dp_.Best(a);
+        PlanPtr t2 = dp_.Best(b);
+        if (!t1 || !t2) return;
+        std::vector<PlanPtr> trees;
+        builder_.OpTrees(t1, t2, crossing, &trees);
+        for (PlanPtr& t : trees) InsertHeuristic(s, std::move(t), top);
+        break;
+      }
+      case Algorithm::kEaAll:
+      case Algorithm::kEaPrune: {
+        // Copy the lists: inserting into the table may rehash it.
+        std::vector<PlanPtr> plans_a = dp_.Plans(a);
+        std::vector<PlanPtr> plans_b = dp_.Plans(b);
+        for (const PlanPtr& t1 : plans_a) {
+          for (const PlanPtr& t2 : plans_b) {
+            std::vector<PlanPtr> trees;
+            builder_.OpTrees(t1, t2, crossing, &trees);
+            for (PlanPtr& t : trees) {
+              if (top) {
+                // InsertTopLevelPlan: single best complete plan.
+                dp_.InsertIfCheaper(s, std::move(t));
+              } else if (options_.algorithm == Algorithm::kEaAll) {
+                dp_.Append(s, std::move(t));
+              } else {
+                dp_.InsertPruned(s, std::move(t));
+              }
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  /// BuildPlansH1 keeps the plain cheapest tree; BuildPlansH2 compares with
+  /// eagerness-adjusted costs (CompareAdjustedCosts, Fig. 12).
+  void InsertHeuristic(RelSet s, PlanPtr plan, bool top) {
+    if (options_.algorithm == Algorithm::kH1) {
+      dp_.InsertIfCheaper(s, std::move(plan));
+      return;
+    }
+    PlanPtr old = dp_.Best(s);
+    if (!old) {
+      dp_.Append(s, std::move(plan));
+      return;
+    }
+    double f = options_.h2_tolerance;
+    bool better;
+    if (top || plan->Eagerness() == old->Eagerness()) {
+      better = plan->cost < old->cost;
+    } else if (plan->Eagerness() < old->Eagerness()) {
+      better = f * plan->cost < old->cost;
+    } else {
+      better = plan->cost < f * old->cost;
+    }
+    if (better) dp_.ReplaceSingle(s, std::move(plan));
+  }
+
+  const Query& query_;
+  const OptimizerOptions& options_;
+  ConflictDetector conflicts_;
+  PlanBuilder builder_;
+  DpTable dp_;
+};
+
+}  // namespace
+
+OptimizeResult Optimize(const Query& query, const OptimizerOptions& options) {
+  Generator gen(query, options);
+  return gen.Run();
+}
+
+}  // namespace eadp

@@ -1,0 +1,66 @@
+// The five plan generators of the paper (Sec. 4).
+//
+//   kDphyp   — the baseline: reorders all operators with DPhyp + conflict
+//              detection but never pushes grouping; a single top grouping
+//              finishes the plan (Fig. 5).
+//   kEaAll   — complete enumeration with eager aggregation: keeps every
+//              join tree per plan class (BuildPlansAll, Fig. 9).
+//              Exponential; optimal.
+//   kEaPrune — complete enumeration + optimality-preserving dominance
+//              pruning (BuildPlansPrune, Fig. 14 / Fig. 13). Optimal.
+//   kH1      — heuristic: single cheapest tree per class, groupings
+//              assessed locally (BuildPlansH1, Fig. 10).
+//   kH2      — heuristic: like H1 but prefers "more eager" plans within a
+//              tolerance factor F (BuildPlansH2, Fig. 12).
+
+#ifndef EADP_PLANGEN_PLANGEN_H_
+#define EADP_PLANGEN_PLANGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "algebra/query.h"
+#include "plangen/op_trees.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+enum class Algorithm { kDphyp, kEaAll, kEaPrune, kH1, kH2 };
+
+const char* AlgorithmName(Algorithm a);
+
+struct OptimizerOptions {
+  Algorithm algorithm = Algorithm::kEaPrune;
+  /// Tolerance factor F of CompareAdjustedCosts (H2 only).
+  double h2_tolerance = 1.03;
+  /// Builder options (top-grouping elimination etc.).
+  BuilderOptions builder;
+  /// Ablation: disable the key criterion in the dominance test (EA-Prune).
+  bool prune_without_keys = false;
+  /// Ablation: disable the cardinality criterion in the dominance test.
+  bool prune_without_cardinality = false;
+  /// Use the unweakened FD-closure comparison of Def. 4 in the dominance
+  /// test instead of (in addition to) the key-based weakening. More exact,
+  /// prunes less, costs closure computations per comparison.
+  bool full_fd_dominance = false;
+};
+
+struct OptimizeStats {
+  uint64_t ccp_count = 0;       ///< csg-cmp-pairs enumerated
+  uint64_t plans_built = 0;     ///< plan nodes constructed
+  size_t table_plans = 0;       ///< plans in the DP table at the end
+  size_t table_classes = 0;     ///< plan classes in the DP table
+  double optimize_ms = 0;       ///< wall-clock optimization time
+};
+
+struct OptimizeResult {
+  PlanPtr plan;  ///< finalized plan (null if the query is unsatisfiable)
+  OptimizeStats stats;
+};
+
+/// Runs the selected plan generator over a (canonicalized) query.
+OptimizeResult Optimize(const Query& query, const OptimizerOptions& options);
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_PLANGEN_H_

@@ -1,0 +1,68 @@
+#include "queries/data_generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace eadp {
+
+Database GenerateDatabase(const Query& query, uint64_t seed,
+                          const DataOptions& options) {
+  const Catalog& catalog = query.catalog();
+  Rng rng(seed);
+  Database db;
+  db.tables.resize(static_cast<size_t>(catalog.num_relations()));
+
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    const RelationDef& def = catalog.relation(r);
+    std::vector<std::string> columns;
+    std::vector<int> attr_ids;
+    AttrSet key_attrs;
+    for (AttrSet k : def.keys) key_attrs.UnionWith(k);
+    for (int a : BitsOf(def.attributes)) {
+      columns.push_back(catalog.attribute(a).name);
+      attr_ids.push_back(a);
+    }
+    Table table(columns);
+    int rows = static_cast<int>(
+        rng.UniformInt(options.min_rows, options.max_rows));
+
+    // Unique values for key columns: a shuffled permutation of 0..rows-1.
+    // Keys therefore also land in the small shared join domain, so
+    // key-to-foreign-key joins find partners.
+    std::vector<std::vector<int64_t>> key_values(attr_ids.size());
+    for (size_t c = 0; c < attr_ids.size(); ++c) {
+      if (!key_attrs.Contains(attr_ids[c])) continue;
+      std::vector<int64_t>& vals = key_values[c];
+      vals.resize(static_cast<size_t>(rows));
+      std::iota(vals.begin(), vals.end(), 0);
+      for (size_t i = vals.size(); i > 1; --i) {
+        std::swap(vals[i - 1],
+                  vals[static_cast<size_t>(rng.UniformInt(
+                      0, static_cast<int64_t>(i) - 1))]);
+      }
+    }
+
+    for (int i = 0; i < rows; ++i) {
+      Row row;
+      row.reserve(attr_ids.size());
+      for (size_t c = 0; c < attr_ids.size(); ++c) {
+        if (key_attrs.Contains(attr_ids[c])) {
+          row.push_back(Value::Int(key_values[c][static_cast<size_t>(i)]));
+        } else if (rng.Bernoulli(options.null_probability)) {
+          row.push_back(Value::Null());
+        } else {
+          row.push_back(
+              Value::Int(rng.UniformInt(0, options.value_domain - 1)));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    db.tables[static_cast<size_t>(r)] = std::move(table);
+  }
+  return db;
+}
+
+}  // namespace eadp

@@ -1,0 +1,36 @@
+// Random data generation for correctness testing.
+//
+// Generates a small in-memory database matching a query's catalog. Declared
+// keys are honored (unique values); non-key columns draw from small domains
+// so joins actually match, include NULLs (exercising the null-rejecting
+// predicate semantics and outer join padding), and include duplicates
+// (exercising the duplicate-sensitivity machinery). Cardinalities are
+// intentionally tiny — these tables feed the bag-semantics interpreter that
+// cross-checks optimizer plans against canonical evaluation.
+
+#ifndef EADP_QUERIES_DATA_GENERATOR_H_
+#define EADP_QUERIES_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "algebra/query.h"
+#include "exec/plan_executor.h"
+
+namespace eadp {
+
+struct DataOptions {
+  int min_rows = 0;
+  int max_rows = 10;
+  /// Domain for non-key columns: values in [0, value_domain).
+  int value_domain = 5;
+  /// NULL probability for non-key columns.
+  double null_probability = 0.15;
+};
+
+/// Generates tables for every relation of the query's catalog.
+Database GenerateDatabase(const Query& query, uint64_t seed,
+                          const DataOptions& options = {});
+
+}  // namespace eadp
+
+#endif  // EADP_QUERIES_DATA_GENERATOR_H_

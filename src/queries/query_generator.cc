@@ -1,0 +1,207 @@
+#include "queries/query_generator.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "queries/random_tree.h"
+
+namespace eadp {
+
+namespace {
+
+/// Per-relation attribute ids assigned by the generator.
+struct RelAttrs {
+  int join_attr = -1;   ///< "Rk.j"
+  int group_attr = -1;  ///< "Rk.g"
+  int value_attr = -1;  ///< "Rk.v"
+};
+
+/// Relations whose attributes reach the root (right subtrees of semi/anti/
+/// group joins are hidden).
+RelSet VisibleRelations(const OpTreeNode& node) {
+  if (node.is_leaf) return RelSet::Single(node.relation);
+  RelSet left = VisibleRelations(*node.left);
+  if (LeftOnlyOutput(node.kind)) return left;
+  return left.Union(VisibleRelations(*node.right));
+}
+
+OpKind PickOperator(const GeneratorOptions& o, Rng& rng) {
+  if (o.inner_joins_only) return OpKind::kJoin;
+  double weights[6] = {o.w_join,      o.w_left_outer, o.w_full_outer,
+                       o.w_left_semi, o.w_left_anti,  o.w_groupjoin};
+  switch (rng.PickWeighted(weights, 6)) {
+    case 0:
+      return OpKind::kJoin;
+    case 1:
+      return OpKind::kLeftOuter;
+    case 2:
+      return OpKind::kFullOuter;
+    case 3:
+      return OpKind::kLeftSemi;
+    case 4:
+      return OpKind::kLeftAnti;
+    default:
+      return OpKind::kGroupJoin;
+  }
+}
+
+double LogUniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.UniformDouble(std::log(lo), std::log(hi)));
+}
+
+/// Converts a TreeShape into an operator tree, assigning operators and
+/// predicates bottom-up.
+std::unique_ptr<OpTreeNode> BuildOperatorTree(
+    const TreeShape& shape, const GeneratorOptions& options,
+    const Catalog& catalog, const std::vector<RelAttrs>& attrs, Rng& rng) {
+  if (shape.is_leaf) return OpTreeNode::Leaf(shape.leaf_index);
+  auto left = BuildOperatorTree(*shape.left, options, catalog, attrs, rng);
+  auto right = BuildOperatorTree(*shape.right, options, catalog, attrs, rng);
+
+  // Predicate between a random *visible* relation of each subtree —
+  // relations hidden below semi/anti/group joins provide no attributes to
+  // the operators above them.
+  RelSet left_rels = VisibleRelations(*left);
+  RelSet right_rels = VisibleRelations(*right);
+  auto pick_rel = [&](RelSet rels) {
+    std::vector<int> members;
+    for (int r : BitsOf(rels)) members.push_back(r);
+    return members[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(members.size()) - 1))];
+  };
+  int rl = pick_rel(left_rels);
+  int rr = pick_rel(right_rels);
+  JoinPredicate pred;
+  pred.AddEquality(attrs[static_cast<size_t>(rl)].join_attr,
+                   attrs[static_cast<size_t>(rr)].join_attr);
+
+  OpKind kind = PickOperator(options, rng);
+  double d_left = catalog.DistinctOf(attrs[static_cast<size_t>(rl)].join_attr);
+  double d_right =
+      catalog.DistinctOf(attrs[static_cast<size_t>(rr)].join_attr);
+  double selectivity =
+      LogUniform(rng, options.sel_jitter_min, options.sel_jitter_max) /
+      std::max(d_left, d_right);
+  auto node = OpTreeNode::Binary(kind, std::move(left), std::move(right),
+                                 std::move(pred), selectivity);
+  if (kind == OpKind::kGroupJoin) {
+    // F̂ for the groupjoin: count the partners and sum a right-side value.
+    AggregateFunction cnt;
+    cnt.kind = AggKind::kCountStar;
+    node->groupjoin_aggs.push_back(cnt);
+    AggregateFunction sum;
+    sum.kind = AggKind::kSum;
+    sum.arg = attrs[static_cast<size_t>(rr)].value_attr;
+    node->groupjoin_aggs.push_back(sum);
+  }
+  return node;
+}
+
+}  // namespace
+
+Query GenerateRandomQuery(const GeneratorOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  int n = options.num_relations;
+  assert(n >= 2 && n <= 20);
+
+  Catalog catalog;
+  std::vector<RelAttrs> attrs(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double card = std::floor(
+        LogUniform(rng, options.min_cardinality, options.max_cardinality));
+    int rel = catalog.AddRelation(StrFormat("R%d", r), card);
+    RelAttrs& a = attrs[static_cast<size_t>(r)];
+    bool keyed = rng.Bernoulli(options.key_probability);
+    // Join attributes are fairly distinct (foreign-key-like fanouts of a
+    // few); grouping attributes collapse by a modest factor. Aggressive
+    // collapse factors make the DPhyp-vs-EA gap astronomically large; these
+    // ranges reproduce the paper's moderate growth (Fig. 15).
+    double join_distinct =
+        keyed ? card
+              : std::max(2.0, std::floor(LogUniform(rng, card / 50, card)));
+    double group_distinct =
+        std::max(2.0, std::floor(LogUniform(rng, card / 50, card)));
+    a.join_attr =
+        catalog.AddAttribute(rel, StrFormat("R%d.j", r), join_distinct);
+    a.group_attr =
+        catalog.AddAttribute(rel, StrFormat("R%d.g", r), group_distinct);
+    a.value_attr = catalog.AddAttribute(rel, StrFormat("R%d.v", r),
+                                        std::max(2.0, card / 2));
+    if (keyed) {
+      catalog.DeclareKey(rel, AttrSet::Single(a.join_attr));
+    }
+  }
+
+  uint64_t shapes = NumBinaryTrees(n);
+  uint64_t rank = static_cast<uint64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(shapes - 1)));
+  std::unique_ptr<TreeShape> shape = UnrankBinaryTree(n, rank);
+  std::unique_ptr<OpTreeNode> root =
+      BuildOperatorTree(*shape, options, catalog, attrs, rng);
+
+  // Grouping attributes and aggregates reference visible relations only.
+  RelSet visible = VisibleRelations(*root);
+  std::vector<int> visible_rels;
+  for (int r : BitsOf(visible)) visible_rels.push_back(r);
+  auto pick_visible = [&]() {
+    return visible_rels[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(visible_rels.size()) - 1))];
+  };
+
+  AttrSet group_by;
+  int num_group = static_cast<int>(rng.UniformInt(
+      1, std::min<int64_t>(3, static_cast<int64_t>(visible_rels.size()))));
+  for (int i = 0; i < num_group; ++i) {
+    group_by.Add(attrs[static_cast<size_t>(pick_visible())].group_attr);
+  }
+  // Occasionally group by a join attribute as well: when it is (or
+  // becomes, through a pushed grouping) a key of a duplicate-free result,
+  // the top grouping can be eliminated (Eqv. 42).
+  if (rng.Bernoulli(0.25)) {
+    group_by.Add(attrs[static_cast<size_t>(pick_visible())].join_attr);
+  }
+
+  AggregateVector aggregates;
+  AggregateFunction cnt;
+  cnt.output = "cnt";
+  cnt.kind = AggKind::kCountStar;
+  aggregates.push_back(cnt);
+  int num_aggs = static_cast<int>(rng.UniformInt(1, 3));
+  for (int i = 0; i < num_aggs; ++i) {
+    AggregateFunction f;
+    f.output = StrFormat("a%d", i);
+    f.arg = attrs[static_cast<size_t>(pick_visible())].value_attr;
+    if (rng.Bernoulli(options.distinct_agg_probability)) {
+      f.kind = AggKind::kCount;
+      f.distinct = true;
+    } else if (rng.Bernoulli(options.avg_agg_probability)) {
+      f.kind = AggKind::kAvg;
+    } else {
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          f.kind = AggKind::kSum;
+          break;
+        case 1:
+          f.kind = AggKind::kMin;
+          break;
+        case 2:
+          f.kind = AggKind::kMax;
+          break;
+        default:
+          f.kind = AggKind::kCount;
+          break;
+      }
+    }
+    aggregates.push_back(f);
+  }
+
+  Query query = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                                std::move(aggregates));
+  query.Canonicalize();
+  return query;
+}
+
+}  // namespace eadp

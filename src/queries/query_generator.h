@@ -1,0 +1,63 @@
+// Random query workload generator (paper Sec. 5).
+//
+// Reproduces the evaluation workload: random binary operator trees
+// (unranked uniformly), random operators on the internal nodes, random
+// equality join predicates, random grouping attributes, and random
+// cardinalities and selectivities. Every relation carries a join attribute,
+// a grouping attribute and a value attribute; aggregates draw from
+// count(*), sum, min, max, count, avg and occasionally non-decomposable
+// count(distinct) — the latter exercises the Valid-test rejections.
+
+#ifndef EADP_QUERIES_QUERY_GENERATOR_H_
+#define EADP_QUERIES_QUERY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "algebra/query.h"
+
+namespace eadp {
+
+struct GeneratorOptions {
+  int num_relations = 5;
+
+  /// Operator mix (weights; normalized internally).
+  double w_join = 0.60;
+  double w_left_outer = 0.14;
+  double w_full_outer = 0.10;
+  double w_left_semi = 0.06;
+  double w_left_anti = 0.05;
+  double w_groupjoin = 0.05;
+
+  /// Base relation cardinalities drawn log-uniformly from this range.
+  double min_cardinality = 10;
+  double max_cardinality = 100000;
+
+  /// Predicate selectivity for R.a = S.b is jitter / max(d(a), d(b)) with
+  /// the jitter drawn log-uniformly from this range. Keeping the jitter at
+  /// most 1 keeps selectivities consistent with distinct counts and key
+  /// declarations (an equality can never retain more than one partner per
+  /// distinct value of the larger side), which in turn keeps cardinality
+  /// estimates consistent across join orders — a prerequisite for the
+  /// optimality of dominance pruning (see DESIGN.md).
+  double sel_jitter_min = 0.3;
+  double sel_jitter_max = 1.0;
+
+  /// Probability that a relation declares its join attribute as key.
+  double key_probability = 0.5;
+
+  /// Probability of a count(distinct v) aggregate (non-decomposable).
+  double distinct_agg_probability = 0.10;
+  /// Probability of an avg aggregate (canonicalized by the optimizer).
+  double avg_agg_probability = 0.10;
+
+  /// Inner joins only (baseline workloads / sanity checks).
+  bool inner_joins_only = false;
+};
+
+/// Generates a random query; deterministic in (options, seed). The result
+/// is already canonicalized (avg split into sum/countNN).
+Query GenerateRandomQuery(const GeneratorOptions& options, uint64_t seed);
+
+}  // namespace eadp
+
+#endif  // EADP_QUERIES_QUERY_GENERATOR_H_

@@ -1,0 +1,51 @@
+#include "queries/random_tree.h"
+
+#include <cassert>
+
+namespace eadp {
+
+uint64_t CatalanNumber(int n) {
+  assert(n >= 0 && n <= 33);
+  // C(0) = 1, C(n+1) = C(n) * 2(2n+1) / (n+2); exact in 64-bit for n <= 33.
+  uint64_t c = 1;
+  for (int i = 0; i < n; ++i) {
+    c = c * 2 * (2 * static_cast<uint64_t>(i) + 1) / (static_cast<uint64_t>(i) + 2);
+  }
+  return c;
+}
+
+uint64_t NumBinaryTrees(int leaves) {
+  assert(leaves >= 1);
+  return CatalanNumber(leaves - 1);
+}
+
+std::unique_ptr<TreeShape> UnrankBinaryTree(int leaves, uint64_t rank,
+                                            int first_leaf) {
+  assert(leaves >= 1);
+  assert(rank < NumBinaryTrees(leaves));
+  auto node = std::make_unique<TreeShape>();
+  if (leaves == 1) {
+    node->is_leaf = true;
+    node->leaf_index = first_leaf;
+    return node;
+  }
+  // Decompose by the number of leaves k in the left subtree:
+  // #shapes with left size k = C(k-1) * C(n-k-1).
+  for (int k = 1; k < leaves; ++k) {
+    uint64_t left_shapes = NumBinaryTrees(k);
+    uint64_t right_shapes = NumBinaryTrees(leaves - k);
+    uint64_t block = left_shapes * right_shapes;
+    if (rank < block) {
+      uint64_t left_rank = rank / right_shapes;
+      uint64_t right_rank = rank % right_shapes;
+      node->left = UnrankBinaryTree(k, left_rank, first_leaf);
+      node->right = UnrankBinaryTree(leaves - k, right_rank, first_leaf + k);
+      return node;
+    }
+    rank -= block;
+  }
+  assert(false && "rank out of range");
+  return node;
+}
+
+}  // namespace eadp

@@ -1,0 +1,45 @@
+// Uniform random binary trees via unranking.
+//
+// The paper's evaluation generates operator trees by unranking random
+// binary trees (Liebehenschel's lexicographic Dyck-word generation). We
+// implement the equivalent Catalan-decomposition unranking: the shapes of
+// binary trees with n leaves are counted by C(n-1); decomposing a uniform
+// rank r < C(n-1) by left-subtree size yields a uniformly distributed
+// shape. Ranks are drawn uniformly by the workload generator, which gives
+// the same distribution as unranking a uniform lexicographic index.
+
+#ifndef EADP_QUERIES_RANDOM_TREE_H_
+#define EADP_QUERIES_RANDOM_TREE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace eadp {
+
+/// Shape of a binary tree; leaves carry their left-to-right index.
+struct TreeShape {
+  bool is_leaf = false;
+  int leaf_index = -1;  ///< set for leaves, in left-to-right order
+  std::unique_ptr<TreeShape> left;
+  std::unique_ptr<TreeShape> right;
+
+  int NumLeaves() const {
+    return is_leaf ? 1 : left->NumLeaves() + right->NumLeaves();
+  }
+};
+
+/// Catalan number C(n) (n <= 33 fits in uint64_t).
+uint64_t CatalanNumber(int n);
+
+/// Number of binary tree shapes with `leaves` leaves: C(leaves - 1).
+uint64_t NumBinaryTrees(int leaves);
+
+/// The `rank`-th binary tree with `leaves` leaves
+/// (0 <= rank < NumBinaryTrees(leaves)). Leaf indexes are assigned left to
+/// right starting at `first_leaf`.
+std::unique_ptr<TreeShape> UnrankBinaryTree(int leaves, uint64_t rank,
+                                            int first_leaf = 0);
+
+}  // namespace eadp
+
+#endif  // EADP_QUERIES_RANDOM_TREE_H_

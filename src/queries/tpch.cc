@@ -1,0 +1,484 @@
+#include "queries/tpch.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace eadp {
+
+namespace {
+
+/// Attribute handles for building the TPC-H queries.
+struct TpchAttrs {
+  int ns_nationkey, ns_name;
+  int s_suppkey, s_nationkey;
+  int nc_nationkey, nc_name;
+  int c_custkey, c_nationkey;
+};
+
+}  // namespace
+
+Query MakeTpchEx() {
+  Catalog catalog;
+  // Relation order: nation_s(0), supplier(1), nation_c(2), customer(3).
+  int nation_s = catalog.AddRelation("nation_s", 25);
+  int supplier = catalog.AddRelation("supplier", 10000);
+  int nation_c = catalog.AddRelation("nation_c", 25);
+  int customer = catalog.AddRelation("customer", 150000);
+
+  TpchAttrs a;
+  a.ns_nationkey = catalog.AddAttribute(nation_s, "ns.n_nationkey", 25);
+  a.ns_name = catalog.AddAttribute(nation_s, "ns.n_name", 25);
+  a.s_suppkey = catalog.AddAttribute(supplier, "s.s_suppkey", 10000);
+  a.s_nationkey = catalog.AddAttribute(supplier, "s.s_nationkey", 25);
+  a.nc_nationkey = catalog.AddAttribute(nation_c, "nc.n_nationkey", 25);
+  a.nc_name = catalog.AddAttribute(nation_c, "nc.n_name", 25);
+  a.c_custkey = catalog.AddAttribute(customer, "c.c_custkey", 150000);
+  a.c_nationkey = catalog.AddAttribute(customer, "c.c_nationkey", 25);
+
+  catalog.DeclareKey(nation_s, AttrSet::Single(a.ns_nationkey));
+  catalog.DeclareKey(supplier, AttrSet::Single(a.s_suppkey));
+  catalog.DeclareKey(nation_c, AttrSet::Single(a.nc_nationkey));
+  catalog.DeclareKey(customer, AttrSet::Single(a.c_custkey));
+
+  JoinPredicate p_ns_s;
+  p_ns_s.AddEquality(a.ns_nationkey, a.s_nationkey);
+  auto left = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(nation_s),
+                                 OpTreeNode::Leaf(supplier), p_ns_s,
+                                 1.0 / 25);
+
+  JoinPredicate p_nc_c;
+  p_nc_c.AddEquality(a.nc_nationkey, a.c_nationkey);
+  auto right = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(nation_c),
+                                  OpTreeNode::Leaf(customer), p_nc_c,
+                                  1.0 / 25);
+
+  JoinPredicate p_outer;
+  p_outer.AddEquality(a.ns_nationkey, a.nc_nationkey);
+  auto root = OpTreeNode::Binary(OpKind::kFullOuter, std::move(left),
+                                 std::move(right), p_outer, 1.0 / 25);
+
+  AttrSet group_by;
+  group_by.Add(a.ns_name);
+  group_by.Add(a.nc_name);
+
+  AggregateVector aggs;
+  AggregateFunction cnt;
+  cnt.output = "cnt";
+  cnt.kind = AggKind::kCountStar;
+  aggs.push_back(cnt);
+
+  Query q = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                            std::move(aggs));
+  q.Canonicalize();
+  return q;
+}
+
+Query MakeTpchQ3() {
+  Catalog catalog;
+  // Unfiltered SF-1 statistics (the selections of the SQL query do not
+  // change which groupings can be pushed; the paper's rel. cost of 0.65
+  // reproduces from the raw table sizes).
+  int customer = catalog.AddRelation("customer", 150000);
+  int orders = catalog.AddRelation("orders", 1500000);
+  int lineitem = catalog.AddRelation("lineitem", 6001215);
+
+  int c_custkey = catalog.AddAttribute(customer, "c_custkey", 150000);
+  int o_orderkey = catalog.AddAttribute(orders, "o_orderkey", 1500000);
+  int o_custkey = catalog.AddAttribute(orders, "o_custkey", 100000);
+  int o_orderdate = catalog.AddAttribute(orders, "o_orderdate", 2406);
+  int o_shippriority = catalog.AddAttribute(orders, "o_shippriority", 1);
+  int l_orderkey = catalog.AddAttribute(lineitem, "l_orderkey", 1500000);
+  int l_extendedprice =
+      catalog.AddAttribute(lineitem, "l_extendedprice", 900000);
+  (void)o_orderdate;
+  (void)o_shippriority;
+
+  catalog.DeclareKey(customer, AttrSet::Single(c_custkey));
+  catalog.DeclareKey(orders, AttrSet::Single(o_orderkey));
+
+  JoinPredicate p_co;
+  p_co.AddEquality(c_custkey, o_custkey);
+  auto co = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(customer),
+                               OpTreeNode::Leaf(orders), p_co, 1.0 / 150000);
+
+  JoinPredicate p_ol;
+  p_ol.AddEquality(o_orderkey, l_orderkey);
+  auto root = OpTreeNode::Binary(OpKind::kJoin, std::move(co),
+                                 OpTreeNode::Leaf(lineitem), p_ol,
+                                 1.0 / 1500000);
+
+  AttrSet group_by;
+  group_by.Add(o_orderkey);
+  group_by.Add(o_orderdate);
+  group_by.Add(o_shippriority);
+
+  AggregateVector aggs;
+  AggregateFunction revenue;
+  revenue.output = "revenue";
+  revenue.kind = AggKind::kSum;
+  revenue.arg = l_extendedprice;
+  aggs.push_back(revenue);
+
+  Query q = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                            std::move(aggs));
+  q.Canonicalize();
+  return q;
+}
+
+Query MakeTpchQ5() {
+  Catalog catalog;
+  // Unfiltered SF-1 statistics.
+  int region = catalog.AddRelation("region", 5);
+  int nation = catalog.AddRelation("nation", 25);
+  int customer = catalog.AddRelation("customer", 150000);
+  int orders = catalog.AddRelation("orders", 1500000);
+  int lineitem = catalog.AddRelation("lineitem", 6001215);
+  int supplier = catalog.AddRelation("supplier", 10000);
+
+  int r_regionkey = catalog.AddAttribute(region, "r_regionkey", 5);
+  int n_nationkey = catalog.AddAttribute(nation, "n_nationkey", 25);
+  int n_regionkey = catalog.AddAttribute(nation, "n_regionkey", 5);
+  int n_name = catalog.AddAttribute(nation, "n_name", 25);
+  int c_custkey = catalog.AddAttribute(customer, "c_custkey", 150000);
+  int c_nationkey = catalog.AddAttribute(customer, "c_nationkey", 25);
+  int o_orderkey = catalog.AddAttribute(orders, "o_orderkey", 1500000);
+  int o_custkey = catalog.AddAttribute(orders, "o_custkey", 100000);
+  int l_orderkey = catalog.AddAttribute(lineitem, "l_orderkey", 1500000);
+  int l_suppkey = catalog.AddAttribute(lineitem, "l_suppkey", 10000);
+  int l_extendedprice =
+      catalog.AddAttribute(lineitem, "l_extendedprice", 900000);
+  int s_suppkey = catalog.AddAttribute(supplier, "s_suppkey", 10000);
+  int s_nationkey = catalog.AddAttribute(supplier, "s_nationkey", 25);
+  (void)n_name;
+
+  catalog.DeclareKey(region, AttrSet::Single(r_regionkey));
+  catalog.DeclareKey(nation, AttrSet::Single(n_nationkey));
+  catalog.DeclareKey(customer, AttrSet::Single(c_custkey));
+  catalog.DeclareKey(orders, AttrSet::Single(o_orderkey));
+  catalog.DeclareKey(supplier, AttrSet::Single(s_suppkey));
+
+  // ((((region ⋈ nation) ⋈ customer) ⋈ orders) ⋈ lineitem) ⋈ supplier,
+  // where the supplier join carries both l_suppkey = s_suppkey and the
+  // cycle-closing c_nationkey = s_nationkey ... the latter is modelled as a
+  // separate predicate on the same cut via the supplier join predicate
+  // (conjunction), matching Q5's semantics.
+  JoinPredicate p_rn;
+  p_rn.AddEquality(r_regionkey, n_regionkey);
+  auto rn = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(region),
+                               OpTreeNode::Leaf(nation), p_rn, 1.0 / 5);
+
+  JoinPredicate p_nc;
+  p_nc.AddEquality(n_nationkey, c_nationkey);
+  auto rnc = OpTreeNode::Binary(OpKind::kJoin, std::move(rn),
+                                OpTreeNode::Leaf(customer), p_nc, 1.0 / 25);
+
+  JoinPredicate p_co;
+  p_co.AddEquality(c_custkey, o_custkey);
+  auto rnco = OpTreeNode::Binary(OpKind::kJoin, std::move(rnc),
+                                 OpTreeNode::Leaf(orders), p_co,
+                                 1.0 / 150000);
+
+  JoinPredicate p_ol;
+  p_ol.AddEquality(o_orderkey, l_orderkey);
+  auto rncol = OpTreeNode::Binary(OpKind::kJoin, std::move(rnco),
+                                  OpTreeNode::Leaf(lineitem), p_ol,
+                                  1.0 / 1500000);
+
+  JoinPredicate p_ls;
+  p_ls.AddEquality(l_suppkey, s_suppkey);
+  p_ls.AddEquality(c_nationkey, s_nationkey);
+  auto root = OpTreeNode::Binary(OpKind::kJoin, std::move(rncol),
+                                 OpTreeNode::Leaf(supplier), p_ls,
+                                 (1.0 / 10000) * (1.0 / 25));
+
+  AttrSet group_by;
+  group_by.Add(n_name);
+
+  AggregateVector aggs;
+  AggregateFunction revenue;
+  revenue.output = "revenue";
+  revenue.kind = AggKind::kSum;
+  revenue.arg = l_extendedprice;
+  aggs.push_back(revenue);
+
+  Query q = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                            std::move(aggs));
+  q.Canonicalize();
+  return q;
+}
+
+Query MakeTpchQ10() {
+  Catalog catalog;
+  // Unfiltered SF-1 statistics.
+  int customer = catalog.AddRelation("customer", 150000);
+  int orders = catalog.AddRelation("orders", 1500000);
+  int lineitem = catalog.AddRelation("lineitem", 6001215);
+  int nation = catalog.AddRelation("nation", 25);
+
+  int c_custkey = catalog.AddAttribute(customer, "c_custkey", 150000);
+  int c_nationkey = catalog.AddAttribute(customer, "c_nationkey", 25);
+  int c_name = catalog.AddAttribute(customer, "c_name", 150000);
+  int o_orderkey = catalog.AddAttribute(orders, "o_orderkey", 1500000);
+  int o_custkey = catalog.AddAttribute(orders, "o_custkey", 100000);
+  int l_orderkey = catalog.AddAttribute(lineitem, "l_orderkey", 1500000);
+  int l_extendedprice =
+      catalog.AddAttribute(lineitem, "l_extendedprice", 900000);
+  int n_nationkey = catalog.AddAttribute(nation, "n_nationkey", 25);
+  int n_name = catalog.AddAttribute(nation, "n_name", 25);
+  (void)c_name;
+
+  catalog.DeclareKey(customer, AttrSet::Single(c_custkey));
+  catalog.DeclareKey(orders, AttrSet::Single(o_orderkey));
+  catalog.DeclareKey(nation, AttrSet::Single(n_nationkey));
+
+  JoinPredicate p_co;
+  p_co.AddEquality(c_custkey, o_custkey);
+  auto co = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(customer),
+                               OpTreeNode::Leaf(orders), p_co, 1.0 / 150000);
+
+  JoinPredicate p_ol;
+  p_ol.AddEquality(o_orderkey, l_orderkey);
+  auto col = OpTreeNode::Binary(OpKind::kJoin, std::move(co),
+                                OpTreeNode::Leaf(lineitem), p_ol,
+                                1.0 / 1500000);
+
+  JoinPredicate p_cn;
+  p_cn.AddEquality(c_nationkey, n_nationkey);
+  auto root = OpTreeNode::Binary(OpKind::kJoin, std::move(col),
+                                 OpTreeNode::Leaf(nation), p_cn, 1.0 / 25);
+
+  AttrSet group_by;
+  group_by.Add(c_custkey);
+  group_by.Add(c_name);
+  group_by.Add(n_name);
+
+  AggregateVector aggs;
+  AggregateFunction revenue;
+  revenue.output = "revenue";
+  revenue.kind = AggKind::kSum;
+  revenue.arg = l_extendedprice;
+  aggs.push_back(revenue);
+
+  Query q = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                            std::move(aggs));
+  q.Canonicalize();
+  return q;
+}
+
+Query MakeTpchQ1() {
+  Catalog catalog;
+  int lineitem = catalog.AddRelation("lineitem", 6001215);
+  int l_returnflag = catalog.AddAttribute(lineitem, "l_returnflag", 3);
+  int l_linestatus = catalog.AddAttribute(lineitem, "l_linestatus", 2);
+  int l_quantity = catalog.AddAttribute(lineitem, "l_quantity", 50);
+  int l_extendedprice =
+      catalog.AddAttribute(lineitem, "l_extendedprice", 900000);
+  int l_discount = catalog.AddAttribute(lineitem, "l_discount", 11);
+
+  auto root = OpTreeNode::Leaf(lineitem);
+
+  AttrSet group_by;
+  group_by.Add(l_returnflag);
+  group_by.Add(l_linestatus);
+
+  AggregateVector aggs;
+  auto add = [&](const char* name, AggKind kind, int arg) {
+    AggregateFunction f;
+    f.output = name;
+    f.kind = kind;
+    f.arg = arg;
+    aggs.push_back(f);
+  };
+  add("sum_qty", AggKind::kSum, l_quantity);
+  add("sum_base_price", AggKind::kSum, l_extendedprice);
+  add("avg_qty", AggKind::kAvg, l_quantity);
+  add("avg_price", AggKind::kAvg, l_extendedprice);
+  add("avg_disc", AggKind::kAvg, l_discount);
+  AggregateFunction cnt;
+  cnt.output = "count_order";
+  cnt.kind = AggKind::kCountStar;
+  aggs.push_back(cnt);
+
+  Query q = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                            std::move(aggs));
+  q.Canonicalize();
+  return q;
+}
+
+Query MakeTpchQ18() {
+  Catalog catalog;
+  int customer = catalog.AddRelation("customer", 150000);
+  int orders = catalog.AddRelation("orders", 1500000);
+  // Two logical copies of lineitem: the subquery side feeding the
+  // groupjoin and the outer-query side.
+  int lineitem_sub = catalog.AddRelation("lineitem_sub", 6001215);
+  int lineitem = catalog.AddRelation("lineitem", 6001215);
+
+  int c_custkey = catalog.AddAttribute(customer, "c_custkey", 150000);
+  int o_orderkey = catalog.AddAttribute(orders, "o_orderkey", 1500000);
+  int o_custkey = catalog.AddAttribute(orders, "o_custkey", 100000);
+  int o_orderdate = catalog.AddAttribute(orders, "o_orderdate", 2406);
+  int ls_orderkey = catalog.AddAttribute(lineitem_sub, "ls_orderkey", 1500000);
+  int ls_quantity = catalog.AddAttribute(lineitem_sub, "ls_quantity", 50);
+  int l_orderkey = catalog.AddAttribute(lineitem, "l_orderkey", 1500000);
+  int l_quantity = catalog.AddAttribute(lineitem, "l_quantity", 50);
+  (void)o_orderdate;
+
+  catalog.DeclareKey(customer, AttrSet::Single(c_custkey));
+  catalog.DeclareKey(orders, AttrSet::Single(o_orderkey));
+
+  // orders Z_{o_orderkey = ls_orderkey; q:sum(ls_quantity)} lineitem_sub
+  JoinPredicate p_gj;
+  p_gj.AddEquality(o_orderkey, ls_orderkey);
+  auto gj = OpTreeNode::Binary(OpKind::kGroupJoin, OpTreeNode::Leaf(orders),
+                               OpTreeNode::Leaf(lineitem_sub), p_gj,
+                               1.0 / 1500000);
+  AggregateFunction q_sum;
+  q_sum.output = "q";
+  q_sum.kind = AggKind::kSum;
+  q_sum.arg = ls_quantity;
+  gj->groupjoin_aggs.push_back(q_sum);
+
+  JoinPredicate p_co;
+  p_co.AddEquality(c_custkey, o_custkey);
+  auto co = OpTreeNode::Binary(OpKind::kJoin, std::move(gj),
+                               OpTreeNode::Leaf(customer), p_co,
+                               1.0 / 150000);
+
+  JoinPredicate p_ol;
+  p_ol.AddEquality(o_orderkey, l_orderkey);
+  auto root = OpTreeNode::Binary(OpKind::kJoin, std::move(co),
+                                 OpTreeNode::Leaf(lineitem), p_ol,
+                                 1.0 / 1500000);
+
+  AttrSet group_by;
+  group_by.Add(c_custkey);
+  group_by.Add(o_orderkey);
+
+  AggregateVector aggs;
+  AggregateFunction total;
+  total.output = "total_qty";
+  total.kind = AggKind::kSum;
+  total.arg = l_quantity;
+  aggs.push_back(total);
+
+  Query q = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                            std::move(aggs));
+  q.Canonicalize();
+  return q;
+}
+
+Database MakeTpchMiniDatabase(const Query& query, double scale_fraction,
+                              uint64_t seed) {
+  const Catalog& catalog = query.catalog();
+  Rng rng(seed);
+  Database db;
+  db.tables.resize(static_cast<size_t>(catalog.num_relations()));
+
+  // Row counts per relation.
+  std::vector<int> rows(static_cast<size_t>(catalog.num_relations()));
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    rows[static_cast<size_t>(r)] = std::max(
+        2, static_cast<int>(catalog.relation(r).cardinality * scale_fraction));
+  }
+
+  // Foreign keys by TPC-H column suffix: the attribute "o_custkey" draws
+  // from the key range of the relation whose *key* ends in "custkey".
+  auto suffix = [](const std::string& name) {
+    size_t pos = name.find('_');
+    return pos == std::string::npos ? name : name.substr(pos + 1);
+  };
+  std::unordered_map<std::string, int> key_range;  // suffix -> parent rows
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    for (AttrSet key : catalog.relation(r).keys) {
+      if (key.Count() != 1) continue;
+      key_range[suffix(catalog.attribute(key.Lowest()).name)] =
+          rows[static_cast<size_t>(r)];
+    }
+  }
+
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    const RelationDef& def = catalog.relation(r);
+    AttrSet key_attrs;
+    for (AttrSet k : def.keys) key_attrs.UnionWith(k);
+    std::vector<std::string> columns;
+    std::vector<int> attr_ids;
+    for (int a : BitsOf(def.attributes)) {
+      columns.push_back(catalog.attribute(a).name);
+      attr_ids.push_back(a);
+    }
+    Table table(columns);
+    int n = rows[static_cast<size_t>(r)];
+    for (int i = 0; i < n; ++i) {
+      Row row;
+      row.reserve(attr_ids.size());
+      for (int a : attr_ids) {
+        const std::string& name = catalog.attribute(a).name;
+        if (key_attrs.Contains(a)) {
+          row.push_back(Value::Int(i));  // unique key values
+          continue;
+        }
+        auto it = key_range.find(suffix(name));
+        if (it != key_range.end()) {
+          row.push_back(Value::Int(rng.UniformInt(0, it->second - 1)));
+          continue;
+        }
+        double d = catalog.DistinctOf(a);
+        int64_t domain =
+            std::max<int64_t>(2, std::min<int64_t>(static_cast<int64_t>(d),
+                                                   std::max(2, n)));
+        row.push_back(Value::Int(rng.UniformInt(0, domain - 1)));
+      }
+      table.AddRow(std::move(row));
+    }
+    db.tables[static_cast<size_t>(r)] = std::move(table);
+  }
+  return db;
+}
+
+Database MakeExDatabase(const Query& ex_query, int scale, uint64_t seed) {
+  const Catalog& catalog = ex_query.catalog();
+  Rng rng(seed);
+  Database db;
+  db.tables.resize(4);
+
+  int num_nations = 25;
+  int num_suppliers = 40 * scale;
+  int num_customers = 600 * scale;
+
+  // nation_s(ns.n_nationkey, ns.n_name)
+  Table nation_s({catalog.attribute(0).name, catalog.attribute(1).name});
+  for (int i = 0; i < num_nations; ++i) {
+    nation_s.AddRow({Value::Int(i), Value::Int(100 + i)});
+  }
+  db.tables[0] = nation_s;
+
+  // supplier(s.s_suppkey, s.s_nationkey)
+  Table supplier({catalog.attribute(2).name, catalog.attribute(3).name});
+  for (int i = 0; i < num_suppliers; ++i) {
+    supplier.AddRow(
+        {Value::Int(i), Value::Int(rng.UniformInt(0, num_nations - 1))});
+  }
+  db.tables[1] = supplier;
+
+  // nation_c(nc.n_nationkey, nc.n_name)
+  Table nation_c({catalog.attribute(4).name, catalog.attribute(5).name});
+  for (int i = 0; i < num_nations; ++i) {
+    nation_c.AddRow({Value::Int(i), Value::Int(100 + i)});
+  }
+  db.tables[2] = nation_c;
+
+  // customer(c.c_custkey, c.c_nationkey)
+  Table customer({catalog.attribute(6).name, catalog.attribute(7).name});
+  for (int i = 0; i < num_customers; ++i) {
+    customer.AddRow(
+        {Value::Int(i), Value::Int(rng.UniformInt(0, num_nations - 1))});
+  }
+  db.tables[3] = customer;
+  return db;
+}
+
+}  // namespace eadp

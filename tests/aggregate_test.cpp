@@ -1,0 +1,82 @@
+#include "algebra/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace eadp {
+namespace {
+
+AggregateFunction Make(AggKind kind, bool distinct = false) {
+  AggregateFunction f;
+  f.output = "x";
+  f.kind = kind;
+  f.arg = kind == AggKind::kCountStar ? -1 : 0;
+  f.distinct = distinct;
+  return f;
+}
+
+TEST(Aggregate, DuplicateSensitivityMatchesPaper) {
+  // Sec. 2.1.3: min, max, *(distinct) are duplicate agnostic; sum, count,
+  // avg are duplicate sensitive.
+  EXPECT_TRUE(IsDuplicateAgnostic(Make(AggKind::kMin)));
+  EXPECT_TRUE(IsDuplicateAgnostic(Make(AggKind::kMax)));
+  EXPECT_TRUE(IsDuplicateAgnostic(Make(AggKind::kSum, true)));
+  EXPECT_TRUE(IsDuplicateAgnostic(Make(AggKind::kCount, true)));
+  EXPECT_TRUE(IsDuplicateAgnostic(Make(AggKind::kAvg, true)));
+  EXPECT_FALSE(IsDuplicateAgnostic(Make(AggKind::kSum)));
+  EXPECT_FALSE(IsDuplicateAgnostic(Make(AggKind::kCount)));
+  EXPECT_FALSE(IsDuplicateAgnostic(Make(AggKind::kCountStar)));
+  EXPECT_FALSE(IsDuplicateAgnostic(Make(AggKind::kAvg)));
+}
+
+TEST(Aggregate, DecomposabilityMatchesPaper) {
+  // Sec. 2.1.2: min/max/sum/count decomposable; sum(distinct),
+  // count(distinct) are not; avg only via canonicalization.
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kMin)));
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kMax)));
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kSum)));
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kCount)));
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kCountStar)));
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kCountNN)));
+  EXPECT_FALSE(IsDecomposable(Make(AggKind::kSum, true)));
+  EXPECT_FALSE(IsDecomposable(Make(AggKind::kCount, true)));
+  EXPECT_FALSE(IsDecomposable(Make(AggKind::kAvg)));
+  // min/max(distinct) equal their plain forms and stay decomposable.
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kMin, true)));
+  EXPECT_TRUE(IsDecomposable(Make(AggKind::kMax, true)));
+}
+
+TEST(Aggregate, DecompositionPairs) {
+  // min = min ∘ min, max = max ∘ max, sum = sum ∘ sum,
+  // count = sum ∘ count, count(*) = sum ∘ count(*).
+  EXPECT_EQ(InnerDecomposition(AggKind::kMin), AggKind::kMin);
+  EXPECT_EQ(OuterDecomposition(AggKind::kMin), AggKind::kMin);
+  EXPECT_EQ(InnerDecomposition(AggKind::kMax), AggKind::kMax);
+  EXPECT_EQ(OuterDecomposition(AggKind::kMax), AggKind::kMax);
+  EXPECT_EQ(InnerDecomposition(AggKind::kSum), AggKind::kSum);
+  EXPECT_EQ(OuterDecomposition(AggKind::kSum), AggKind::kSum);
+  EXPECT_EQ(InnerDecomposition(AggKind::kCount), AggKind::kCount);
+  EXPECT_EQ(OuterDecomposition(AggKind::kCount), AggKind::kSum);
+  EXPECT_EQ(InnerDecomposition(AggKind::kCountStar), AggKind::kCountStar);
+  EXPECT_EQ(OuterDecomposition(AggKind::kCountStar), AggKind::kSum);
+}
+
+TEST(Aggregate, NullTupleDefaults) {
+  // A.5.1 convention: count(*)({⊥}) = 1; count(a)({⊥}) = 0;
+  // sum/min/max({⊥}) = NULL.
+  EXPECT_EQ(DefaultOnNullTuple(AggKind::kCountStar), NullTupleDefault::kOne);
+  EXPECT_EQ(DefaultOnNullTuple(AggKind::kCount), NullTupleDefault::kZero);
+  EXPECT_EQ(DefaultOnNullTuple(AggKind::kCountNN), NullTupleDefault::kZero);
+  EXPECT_EQ(DefaultOnNullTuple(AggKind::kSum), NullTupleDefault::kNull);
+  EXPECT_EQ(DefaultOnNullTuple(AggKind::kMin), NullTupleDefault::kNull);
+  EXPECT_EQ(DefaultOnNullTuple(AggKind::kMax), NullTupleDefault::kNull);
+}
+
+TEST(Aggregate, ToString) {
+  EXPECT_EQ(Make(AggKind::kCountStar).ToString(""), "x:count(*)");
+  EXPECT_EQ(Make(AggKind::kSum).ToString("R.a"), "x:sum(R.a)");
+  EXPECT_EQ(Make(AggKind::kCount, true).ToString("R.a"),
+            "x:count(distinct R.a)");
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,187 @@
+// Reproduces the paper's Fig. 11 / Table 1 example exactly: the violation
+// of Bellman's principle that motivates keeping multiple plans per class.
+//
+// Exec level: the actual intermediate sizes and C_out values of both
+// operator trees match the paper (lazy: 10, eager + final grouping: 9,
+// eager + Eqv. 42 projection: 7).
+// Optimizer level: H1 discards the eager subplan (locally more expensive)
+// and lands on the lazy plan; EA-Prune finds the eager one; H2 with a
+// sufficiently large tolerance factor follows EA.
+
+#include <gtest/gtest.h>
+
+#include "exec/operators.h"
+#include "plangen/plangen.h"
+
+namespace eadp {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+Table MakeR0() {
+  Table t({"R0.a", "R0.b"});
+  t.AddRow({I(0), I(0)});
+  t.AddRow({I(1), I(0)});
+  t.AddRow({I(2), I(1)});
+  t.AddRow({I(3), I(1)});
+  return t;
+}
+
+Table MakeR1() {
+  Table t({"R1.c", "R1.d"});
+  t.AddRow({I(0), I(1)});
+  t.AddRow({I(1), I(0)});
+  t.AddRow({I(2), I(1)});
+  t.AddRow({I(3), I(1)});
+  t.AddRow({I(4), I(4)});
+  return t;
+}
+
+Table MakeR2() {
+  Table t({"R2.e", "R2.f"});
+  t.AddRow({I(0), I(0)});
+  t.AddRow({I(1), I(1)});
+  t.AddRow({I(2), I(3)});
+  t.AddRow({I(3), I(4)});
+  return t;
+}
+
+TEST(BellmanViolation, Fig11ActualSizesAndCosts) {
+  Table r0 = MakeR0();
+  Table r1 = MakeR1();
+  Table r2 = MakeR2();
+  ExecPredicate p_de = {{"R1.d", "R2.e", CmpOp::kEq}};
+  ExecPredicate p_af = {{"R0.a", "R2.f", CmpOp::kEq}};
+
+  // Lazy tree (left of Fig. 11).
+  Table e12 = InnerJoin(r1, r2, p_de);
+  EXPECT_EQ(e12.NumRows(), 4u);
+  Table e012 = InnerJoin(r0, e12, p_af);
+  EXPECT_EQ(e012.NumRows(), 4u);
+  Table lazy_final =
+      GroupBy(e012, {"R1.d"},
+              {ExecAggregate::Simple("d'", AggKind::kCountStar)});
+  EXPECT_EQ(lazy_final.NumRows(), 2u);
+  double lazy_cout = 4 + 4 + 2;
+  EXPECT_DOUBLE_EQ(lazy_cout, 10);  // Table 1: Cout(Γ(e0,1,2)) = 10
+
+  // Eager tree (right of Fig. 11).
+  Table r1g = GroupBy(r1, {"R1.d"},
+                      {ExecAggregate::Simple("d'", AggKind::kCountStar)});
+  EXPECT_EQ(r1g.NumRows(), 3u);  // Table 1: Cout(e1') = 3
+  Table e12e = InnerJoin(r1g, r2, p_de);
+  EXPECT_EQ(e12e.NumRows(), 2u);  // Cout(e1,2') = 3 + 2 = 5
+  Table e012e = InnerJoin(r0, e12e, p_af);
+  EXPECT_EQ(e012e.NumRows(), 2u);  // Cout(e0,1,2') = 5 + 2 = 7
+  Table eager_final = GroupBy(
+      e012e, {"R1.d"}, {ExecAggregate::Simple("d''", AggKind::kSum, "d'")});
+  EXPECT_EQ(eager_final.NumRows(), 2u);
+  double eager_cout_with_group = 3 + 2 + 2 + 2;
+  EXPECT_DOUBLE_EQ(eager_cout_with_group, 9);  // Table 1: Cout(Γ(e')) = 9
+
+  // Eqv. 42: R1.d is a key of e0,1,2' in this data, so the final grouping
+  // degenerates to a projection; d' already holds count(*).
+  Table eliminated = Project(e012e, {"R1.d", "d'"});
+  EXPECT_TRUE(Table::BagEquals(
+      eliminated,
+      GroupBy(e012, {"R1.d"},
+              {ExecAggregate::Simple("d'", AggKind::kCountStar)})));
+  double eager_cout_eliminated = 3 + 2 + 2;
+  EXPECT_DOUBLE_EQ(eager_cout_eliminated, 7);  // Sec. 4.4: "cost value of 7"
+
+  // Both trees compute the same result: {(1,3), (0,1)}.
+  Table expected({"R1.d", "d'"});
+  expected.AddRow({I(1), I(3)});
+  expected.AddRow({I(0), I(1)});
+  EXPECT_TRUE(Table::BagEquals(lazy_final, expected));
+  EXPECT_TRUE(Table::BagEquals(eliminated, expected));
+}
+
+/// The Fig. 11 query as optimizer input, with statistics chosen to mirror
+/// the example (selectivities reproduce the actual join sizes; R0.a and
+/// R2.e declared keys as in the data).
+Query MakeFig11Query() {
+  Catalog catalog;
+  int r0 = catalog.AddRelation("R0", 4);
+  int a = catalog.AddAttribute(r0, "R0.a", 4);
+  int r1 = catalog.AddRelation("R1", 5);
+  int d = catalog.AddAttribute(r1, "R1.d", 3);
+  int r2 = catalog.AddRelation("R2", 4);
+  int e = catalog.AddAttribute(r2, "R2.e", 4);
+  int f = catalog.AddAttribute(r2, "R2.f", 4);
+  catalog.DeclareKey(r0, AttrSet::Single(a));
+  catalog.DeclareKey(r2, AttrSet::Single(e));
+
+  JoinPredicate p_de;
+  p_de.AddEquality(d, e);
+  auto lower = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(r1),
+                                  OpTreeNode::Leaf(r2), p_de, 0.2);
+  JoinPredicate p_af;
+  p_af.AddEquality(a, f);
+  auto root = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(r0),
+                                 std::move(lower), p_af, 0.25);
+  AttrSet g;
+  g.Add(d);
+  AggregateVector aggs(1);
+  aggs[0].output = "d'";
+  aggs[0].kind = AggKind::kCountStar;
+  return Query::FromTree(std::move(catalog), std::move(root), g, aggs);
+}
+
+TEST(BellmanViolation, H1DiscardsTheGloballyOptimalSubplan) {
+  Query q = MakeFig11Query();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kEaPrune;
+  OptimizeResult best = Optimize(q, opt);
+  opt.algorithm = Algorithm::kH1;
+  OptimizeResult h1 = Optimize(q, opt);
+  ASSERT_NE(best.plan, nullptr);
+  ASSERT_NE(h1.plan, nullptr);
+
+  // The optimum pushes a grouping below the joins; H1's local comparison
+  // rejects the eager {R1,R2} subplan (grouping 3 + join 2.4 > plain
+  // join 4), so it cannot reach the optimal tree. (Free reordering lets H1
+  // recover part of the gain by joining R0 ⋈ R2 first and pushing the
+  // grouping at the top-level step, but it remains suboptimal — the
+  // Bellman violation of Sec. 4.4.)
+  EXPECT_GT(best.plan->PushedGroupingCount(), 0)
+      << best.plan->ToString(q.catalog());
+  EXPECT_LT(best.plan->cost, h1.plan->cost)
+      << "H1:\n"
+      << h1.plan->ToString(q.catalog());
+
+  // Estimated costs from the hand computation: the optimum is
+  // 3 (Γ(R1)) + 2.4 + 2.4 = 7.8 with Eqv. 42 elimination.
+  EXPECT_NEAR(best.plan->cost, 7.8, 1e-9);
+  EXPECT_NEAR(h1.plan->cost, 9.4, 1e-9);
+}
+
+TEST(BellmanViolation, H2WithLargeToleranceFollowsTheOptimum) {
+  Query q = MakeFig11Query();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kH2;
+  opt.h2_tolerance = 1.5;  // 5.4 < 1.5 * 4: the eager subplan survives
+  OptimizeResult h2_loose = Optimize(q, opt);
+  opt.h2_tolerance = 1.03;  // 5.4 > 1.03 * 4: H2 behaves like H1 here
+  OptimizeResult h2_tight = Optimize(q, opt);
+  EXPECT_NEAR(h2_loose.plan->cost, 7.8, 1e-9);
+  OptimizerOptions h1_opt;
+  h1_opt.algorithm = Algorithm::kH1;
+  EXPECT_NEAR(h2_tight.plan->cost, Optimize(q, h1_opt).plan->cost, 1e-9);
+}
+
+TEST(BellmanViolation, Eqv42EliminationIsLoadBearing) {
+  // Without top-grouping elimination the eager plan pays the final
+  // grouping (cost 7.8 + group) but still beats lazy (11 + nothing since
+  // lazy always groups)... verify the option toggles costs coherently.
+  Query q = MakeFig11Query();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kEaPrune;
+  double with_elim = Optimize(q, opt).plan->cost;
+  opt.builder.top_grouping_elimination = false;
+  double without_elim = Optimize(q, opt).plan->cost;
+  EXPECT_LT(with_elim, without_elim);
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,127 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace eadp {
+namespace {
+
+TEST(Bitset64, EmptyAndSingle) {
+  Bitset64 empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.Count(), 0);
+
+  Bitset64 s = Bitset64::Single(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Lowest(), 5);
+}
+
+TEST(Bitset64, FirstN) {
+  EXPECT_EQ(Bitset64::FirstN(0).Count(), 0);
+  EXPECT_EQ(Bitset64::FirstN(3).Count(), 3);
+  EXPECT_TRUE(Bitset64::FirstN(3).Contains(0));
+  EXPECT_TRUE(Bitset64::FirstN(3).Contains(2));
+  EXPECT_FALSE(Bitset64::FirstN(3).Contains(3));
+  EXPECT_EQ(Bitset64::FirstN(64).Count(), 64);
+}
+
+TEST(Bitset64, SetAlgebra) {
+  Bitset64 a = Bitset64::Single(1).Union(Bitset64::Single(3));
+  Bitset64 b = Bitset64::Single(3).Union(Bitset64::Single(4));
+  EXPECT_EQ(a.Union(b).Count(), 3);
+  EXPECT_EQ(a.Intersect(b), Bitset64::Single(3));
+  EXPECT_EQ(a.Minus(b), Bitset64::Single(1));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(Bitset64::Single(0)));
+  EXPECT_TRUE(Bitset64::Single(3).IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(Bitset64, AddRemove) {
+  Bitset64 s;
+  s.Add(7);
+  s.Add(2);
+  EXPECT_EQ(s.Count(), 2);
+  s.Remove(7);
+  EXPECT_EQ(s, Bitset64::Single(2));
+  s.Remove(3);  // not present: no-op
+  EXPECT_EQ(s, Bitset64::Single(2));
+}
+
+TEST(Bitset64, LowestBit) {
+  Bitset64 s = Bitset64::Single(6).Union(Bitset64::Single(2));
+  EXPECT_EQ(s.Lowest(), 2);
+  EXPECT_EQ(s.LowestBit(), Bitset64::Single(2));
+}
+
+TEST(Bitset64, IterationOrder) {
+  Bitset64 s;
+  s.Add(9);
+  s.Add(1);
+  s.Add(63);
+  std::vector<int> seen;
+  for (int i : BitsOf(s)) seen.push_back(i);
+  EXPECT_EQ(seen, (std::vector<int>{1, 9, 63}));
+}
+
+TEST(Bitset64, SubsetEnumerationCountsAllNonEmptySubsets) {
+  Bitset64 super;
+  super.Add(0);
+  super.Add(2);
+  super.Add(5);
+  std::set<uint64_t> seen;
+  for (Bitset64 s : SubsetsOf(super)) {
+    EXPECT_TRUE(s.IsSubsetOf(super));
+    EXPECT_FALSE(s.empty());
+    seen.insert(s.bits());
+  }
+  EXPECT_EQ(seen.size(), 7u);  // 2^3 - 1
+}
+
+TEST(Bitset64, SubsetEnumerationOfEmptySetYieldsNothing) {
+  int count = 0;
+  for (Bitset64 s : SubsetsOf(Bitset64())) {
+    (void)s;
+    ++count;
+  }
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Bitset64, SubsetEnumerationSingleton) {
+  std::vector<uint64_t> seen;
+  for (Bitset64 s : SubsetsOf(Bitset64::Single(4))) seen.push_back(s.bits());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], Bitset64::Single(4).bits());
+}
+
+TEST(Bitset64, ToString) {
+  Bitset64 s;
+  s.Add(0);
+  s.Add(3);
+  EXPECT_EQ(s.ToString(), "{0,3}");
+  EXPECT_EQ(Bitset64().ToString(), "{}");
+}
+
+class SubsetCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubsetCountTest, EnumeratesExactly2ToNMinus1) {
+  int n = GetParam();
+  Bitset64 super = Bitset64::FirstN(n);
+  uint64_t count = 0;
+  for (Bitset64 s : SubsetsOf(super)) {
+    (void)s;
+    ++count;
+  }
+  EXPECT_EQ(count, (uint64_t{1} << n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SubsetCountTest,
+                         ::testing::Values(1, 2, 3, 4, 8, 12, 16));
+
+}  // namespace
+}  // namespace eadp

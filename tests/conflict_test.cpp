@@ -1,0 +1,166 @@
+// Conflict detector: applicability of reorderings around non-inner joins.
+
+#include "conflict/conflict_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "conflict/operator_properties.h"
+
+namespace eadp {
+namespace {
+
+RelSet Set(std::initializer_list<int> xs) {
+  RelSet s;
+  for (int x : xs) s.Add(x);
+  return s;
+}
+
+/// Builds a 3-relation left-deep query (R0 op0 R1) op1 R2 with predicates
+/// R0.j = R1.j and R1.j = R2.j (op1's predicate between R1 and R2).
+Query ThreeRelQuery(OpKind op0, OpKind op1) {
+  Catalog catalog;
+  std::vector<int> j(3);
+  for (int r = 0; r < 3; ++r) {
+    int rel = catalog.AddRelation("R" + std::to_string(r), 100);
+    j[static_cast<size_t>(r)] =
+        catalog.AddAttribute(rel, "R" + std::to_string(r) + ".j", 10);
+  }
+  JoinPredicate p01;
+  p01.AddEquality(j[0], j[1]);
+  auto lower = OpTreeNode::Binary(op0, OpTreeNode::Leaf(0), OpTreeNode::Leaf(1),
+                                  p01, 0.1);
+  JoinPredicate p12;
+  p12.AddEquality(j[1], j[2]);
+  auto root = OpTreeNode::Binary(op1, std::move(lower), OpTreeNode::Leaf(2),
+                                 p12, 0.1);
+  AttrSet g;
+  g.Add(j[0]);
+  AggregateVector aggs;
+  AggregateFunction cnt;
+  cnt.output = "cnt";
+  cnt.kind = AggKind::kCountStar;
+  aggs.push_back(cnt);
+  return Query::FromTree(std::move(catalog), std::move(root), g, aggs);
+}
+
+TEST(OperatorProperties, InnerJoinFullyReorderable) {
+  EXPECT_TRUE(OpAssoc(OpKind::kJoin, OpKind::kJoin));
+  EXPECT_TRUE(OpLeftAsscom(OpKind::kJoin, OpKind::kJoin));
+  EXPECT_TRUE(OpRightAsscom(OpKind::kJoin, OpKind::kJoin));
+}
+
+TEST(OperatorProperties, OuterJoinRestrictions) {
+  EXPECT_FALSE(OpAssoc(OpKind::kLeftOuter, OpKind::kJoin));
+  EXPECT_TRUE(OpAssoc(OpKind::kLeftOuter, OpKind::kLeftOuter));
+  EXPECT_FALSE(OpAssoc(OpKind::kJoin, OpKind::kFullOuter));
+  EXPECT_TRUE(OpAssoc(OpKind::kFullOuter, OpKind::kFullOuter));
+  EXPECT_TRUE(OpLeftAsscom(OpKind::kFullOuter, OpKind::kFullOuter));
+  EXPECT_TRUE(OpRightAsscom(OpKind::kFullOuter, OpKind::kFullOuter));
+  EXPECT_FALSE(OpRightAsscom(OpKind::kJoin, OpKind::kLeftOuter));
+}
+
+TEST(ConflictDetector, InnerChainAllOrdersAllowed) {
+  Query q = ThreeRelQuery(OpKind::kJoin, OpKind::kJoin);
+  ConflictDetector cd(q);
+  // op 1 joins R1-R2: applicable before the R0-R1 join.
+  EXPECT_TRUE(cd.Applicable(1, Set({1}), Set({2})));
+  EXPECT_TRUE(cd.Applicable(1, Set({0, 1}), Set({2})));
+  EXPECT_TRUE(cd.Applicable(0, Set({0}), Set({1})));
+}
+
+TEST(ConflictDetector, OuterJoinBelowJoinBlocksEarlyJoin) {
+  // (R0 E R1) B R2: ¬assoc(E, B) forbids joining R1 with R2 before R0 is
+  // present (the padded R1 side must not be filtered early).
+  Query q = ThreeRelQuery(OpKind::kLeftOuter, OpKind::kJoin);
+  ConflictDetector cd(q);
+  EXPECT_FALSE(cd.Applicable(1, Set({1}), Set({2})));
+  EXPECT_TRUE(cd.Applicable(1, Set({0, 1}), Set({2})));
+}
+
+TEST(ConflictDetector, JoinBelowFullOuterBlocksEarlyOuter) {
+  // (R0 B R1) K R2: ¬assoc(B, K) forbids the full outerjoin against R1
+  // alone.
+  Query q = ThreeRelQuery(OpKind::kJoin, OpKind::kFullOuter);
+  ConflictDetector cd(q);
+  EXPECT_FALSE(cd.Applicable(1, Set({1}), Set({2})));
+  EXPECT_TRUE(cd.Applicable(1, Set({0, 1}), Set({2})));
+  // Applicable is orientation-strict (the operator's original left SES must
+  // be within the first argument); commutativity is the plan builder's job.
+  EXPECT_FALSE(cd.Applicable(1, Set({2}), Set({1})));
+  EXPECT_FALSE(cd.Applicable(1, Set({2}), Set({0, 1})));
+}
+
+TEST(ConflictDetector, SesOrientationMatters) {
+  Query q = ThreeRelQuery(OpKind::kJoin, OpKind::kLeftOuter);
+  ConflictDetector cd(q);
+  // op 1 is R0R1 E R2 with predicate R1-R2: left SES {1} must be within the
+  // left argument.
+  EXPECT_TRUE(cd.Applicable(1, Set({0, 1}), Set({2})));
+  EXPECT_FALSE(cd.Applicable(1, Set({2}), Set({0, 1})));
+}
+
+TEST(ConflictDetector, HypergraphEdgesMatchSes) {
+  Query q = ThreeRelQuery(OpKind::kLeftOuter, OpKind::kJoin);
+  ConflictDetector cd(q);
+  const Hypergraph& g = cd.hypergraph();
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[0].left, Set({0}));
+  EXPECT_EQ(g.edges()[0].right, Set({1}));
+  EXPECT_EQ(g.edges()[1].left, Set({1}));
+  EXPECT_EQ(g.edges()[1].right, Set({2}));
+}
+
+TEST(ConflictDetector, OriginalTreeAlwaysConstructible) {
+  // Whatever the operators, applying them in original nesting order must
+  // pass the applicability test.
+  for (OpKind op0 : {OpKind::kJoin, OpKind::kLeftOuter, OpKind::kFullOuter,
+                     OpKind::kLeftSemi, OpKind::kLeftAnti}) {
+    for (OpKind op1 : {OpKind::kJoin, OpKind::kLeftOuter,
+                       OpKind::kFullOuter, OpKind::kLeftSemi}) {
+      Query q = ThreeRelQuery(op0, op1);
+      ConflictDetector cd(q);
+      EXPECT_TRUE(cd.Applicable(0, Set({0}), Set({1})))
+          << OpKindName(op0) << "/" << OpKindName(op1);
+      EXPECT_TRUE(cd.Applicable(1, Set({0, 1}), Set({2})))
+          << OpKindName(op0) << "/" << OpKindName(op1);
+    }
+  }
+}
+
+TEST(ConflictDetector, GroupJoinSesIncludesAggregateArgs) {
+  // A groupjoin whose aggregate reads R2.v: SES must include R2 even if the
+  // predicate only references R1... construct (R0 Z (R1 B R2)).
+  Catalog catalog;
+  int j0 = catalog.AddAttribute(catalog.AddRelation("R0", 10), "R0.j", 5);
+  int r1 = catalog.AddRelation("R1", 10);
+  int j1 = catalog.AddAttribute(r1, "R1.j", 5);
+  int r2 = catalog.AddRelation("R2", 10);
+  int j2 = catalog.AddAttribute(r2, "R2.j", 5);
+  int v2 = catalog.AddAttribute(r2, "R2.v", 5);
+
+  JoinPredicate p12;
+  p12.AddEquality(j1, j2);
+  auto right = OpTreeNode::Binary(OpKind::kJoin, OpTreeNode::Leaf(1),
+                                  OpTreeNode::Leaf(2), p12, 0.2);
+  JoinPredicate p01;
+  p01.AddEquality(j0, j1);
+  auto root = OpTreeNode::Binary(OpKind::kGroupJoin, OpTreeNode::Leaf(0),
+                                 std::move(right), p01, 0.2);
+  AggregateFunction sum;
+  sum.kind = AggKind::kSum;
+  sum.arg = v2;
+  root->groupjoin_aggs.push_back(sum);
+
+  AttrSet g;
+  g.Add(j0);
+  Query q = Query::FromTree(std::move(catalog), std::move(root), g, {});
+  ConflictDetector cd(q);
+  EXPECT_TRUE(cd.conflicts(1).ses.Contains(2));
+  // The groupjoin cannot be applied between R0 and R1 alone: its aggregate
+  // needs R2.
+  EXPECT_FALSE(cd.Applicable(1, Set({0}), Set({1})));
+  EXPECT_TRUE(cd.Applicable(1, Set({0}), Set({1, 2})));
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,152 @@
+// DPhyp enumeration counts checked against closed forms and an independent
+// brute-force enumeration of csg-cmp-pairs.
+
+#include "hypergraph/dphyp_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+namespace eadp {
+namespace {
+
+Hypergraph Chain(int n) {
+  Hypergraph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.AddEdge(RelSet::Single(i), RelSet::Single(i + 1), i);
+  }
+  return g;
+}
+
+Hypergraph Star(int n) {
+  Hypergraph g(n);
+  for (int i = 1; i < n; ++i) {
+    g.AddEdge(RelSet::Single(0), RelSet::Single(i), i - 1);
+  }
+  return g;
+}
+
+Hypergraph Clique(int n) {
+  Hypergraph g(n);
+  int e = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.AddEdge(RelSet::Single(i), RelSet::Single(j), e++);
+    }
+  }
+  return g;
+}
+
+Hypergraph Cycle(int n) {
+  Hypergraph g(n);
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(RelSet::Single(i), RelSet::Single((i + 1) % n), i);
+  }
+  return g;
+}
+
+/// Brute-force count of unordered csg-cmp-pairs per Def. 3.
+uint64_t BruteForceCcp(const Hypergraph& g) {
+  int n = g.num_nodes();
+  uint64_t count = 0;
+  for (uint64_t s1 = 1; s1 < (uint64_t{1} << n); ++s1) {
+    if (!g.IsConnected(RelSet(s1))) continue;
+    for (uint64_t s2 = s1 + 1; s2 < (uint64_t{1} << n); ++s2) {
+      if (s1 & s2) continue;
+      if (!g.IsConnected(RelSet(s2))) continue;
+      if (g.Connects(RelSet(s1), RelSet(s2))) ++count;
+    }
+  }
+  return count;
+}
+
+class GraphShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GraphShapeTest, ChainMatchesClosedForm) {
+  uint64_t n = static_cast<uint64_t>(GetParam());
+  // #ccp for chains: (n^3 - n) / 6 (Moerkotte & Neumann 2006).
+  EXPECT_EQ(CountCsgCmpPairs(Chain(GetParam())), (n * n * n - n) / 6);
+}
+
+TEST_P(GraphShapeTest, StarMatchesClosedForm) {
+  int n = GetParam();
+  // #ccp for stars: (n-1) * 2^(n-2).
+  EXPECT_EQ(CountCsgCmpPairs(Star(n)),
+            static_cast<uint64_t>(n - 1) << (n - 2));
+}
+
+TEST_P(GraphShapeTest, CliqueMatchesClosedForm) {
+  int n = GetParam();
+  // #ccp for cliques: (3^n - 2^(n+1) + 1) / 2.
+  uint64_t p3 = 1;
+  for (int i = 0; i < n; ++i) p3 *= 3;
+  uint64_t expected = (p3 - (uint64_t{1} << (n + 1)) + 1) / 2;
+  EXPECT_EQ(CountCsgCmpPairs(Clique(n)), expected);
+}
+
+TEST_P(GraphShapeTest, CycleMatchesBruteForce) {
+  EXPECT_EQ(CountCsgCmpPairs(Cycle(GetParam())),
+            BruteForceCcp(Cycle(GetParam())));
+}
+
+TEST_P(GraphShapeTest, ChainMatchesBruteForce) {
+  EXPECT_EQ(CountCsgCmpPairs(Chain(GetParam())),
+            BruteForceCcp(Chain(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GraphShapeTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 10));
+
+TEST(Dphyp, EmitsEachPairOnce) {
+  Hypergraph g = Clique(6);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  EnumerateCsgCmpPairs(g, [&](RelSet s1, RelSet s2) {
+    uint64_t a = std::min(s1.bits(), s2.bits());
+    uint64_t b = std::max(s1.bits(), s2.bits());
+    EXPECT_TRUE(seen.emplace(a, b).second)
+        << "pair emitted twice: " << s1.ToString() << " " << s2.ToString();
+    EXPECT_FALSE(s1.Intersects(s2));
+    EXPECT_TRUE(g.IsConnected(s1));
+    EXPECT_TRUE(g.IsConnected(s2));
+    EXPECT_TRUE(g.Connects(s1, s2));
+  });
+}
+
+TEST(Dphyp, BottomUpOrder) {
+  // Both components of every emitted pair must already have been emitted as
+  // unions of earlier pairs (or be singletons) — the DP prerequisite.
+  Hypergraph g = Chain(6);
+  std::set<uint64_t> materialized;
+  for (int i = 0; i < 6; ++i) {
+    materialized.insert(RelSet::Single(i).bits());
+  }
+  EnumerateCsgCmpPairs(g, [&](RelSet s1, RelSet s2) {
+    EXPECT_TRUE(materialized.count(s1.bits())) << s1.ToString();
+    EXPECT_TRUE(materialized.count(s2.bits())) << s2.ToString();
+    materialized.insert(s1.Union(s2).bits());
+  });
+}
+
+TEST(Dphyp, HypergraphWithComplexEdge) {
+  // {0,1} -- {2}: {0} and {2} cannot pair up; only {0,1}+{2} works.
+  Hypergraph g(3);
+  g.AddEdge(RelSet::Single(0), RelSet::Single(1), 0);
+  Hypergraph g2 = g;
+  RelSet u;
+  u.Add(0);
+  u.Add(1);
+  g2.AddEdge(u, RelSet::Single(2), 1);
+  EXPECT_EQ(CountCsgCmpPairs(g2), BruteForceCcp(g2));
+  EXPECT_EQ(CountCsgCmpPairs(g2), 2u);  // {0}{1} and {0,1}{2}
+}
+
+TEST(Dphyp, DisconnectedGraphHasNoCrossPairs) {
+  Hypergraph g(4);
+  g.AddEdge(RelSet::Single(0), RelSet::Single(1), 0);
+  g.AddEdge(RelSet::Single(2), RelSet::Single(3), 1);
+  EXPECT_EQ(CountCsgCmpPairs(g), 2u);
+}
+
+}  // namespace
+}  // namespace eadp

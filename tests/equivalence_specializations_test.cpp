@@ -1,0 +1,268 @@
+// The specialization families of Fig. 3, constructed explicitly at the
+// execution level (one test per equivalence family and side), plus the
+// top-grouping-elimination identities (Eqv. 42 family) and the grouping
+// over union decompositions (Eqvs. 45/46) used by the appendix proofs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/operators.h"
+
+namespace eadp {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+/// Random side tables (with NULLs and duplicates) keyed by a seed.
+Table RandomSide(uint64_t seed, const std::string& g, const std::string& j,
+                 const std::string& a) {
+  Rng rng(seed);
+  Table t({g, j, a});
+  int rows = static_cast<int>(rng.UniformInt(0, 10));
+  for (int i = 0; i < rows; ++i) {
+    auto value = [&](double null_p, int domain) {
+      return rng.Bernoulli(null_p)
+                 ? Value::Null()
+                 : Value::Int(rng.UniformInt(0, domain - 1));
+    };
+    t.AddRow({value(0.1, 3), value(0.15, 4), value(0.2, 6)});
+  }
+  return t;
+}
+
+ExecPredicate Pred() { return {{"j1", "j2", CmpOp::kEq}}; }
+
+using JoinFn = Table (*)(const Table&, const Table&, const ExecPredicate&);
+
+Table PlainInner(const Table& a, const Table& b, const ExecPredicate& p) {
+  return InnerJoin(a, b, p);
+}
+Table PlainLeftOuter(const Table& a, const Table& b, const ExecPredicate& p) {
+  return LeftOuterJoin(a, b, p);
+}
+Table PlainFullOuter(const Table& a, const Table& b, const ExecPredicate& p) {
+  return FullOuterJoin(a, b, p);
+}
+
+struct FamilyParam {
+  const char* name;
+  JoinFn plain;
+  bool left_needs_defaults;   // grouped left side needs defaults (K)
+  bool right_needs_defaults;  // grouped right side needs defaults (E, K)
+  bool right_push_ok;         // E right push and K both; semijoins: no
+};
+
+using SpecParam = std::tuple<int, uint64_t>;
+
+class SpecializationTest : public ::testing::TestWithParam<SpecParam> {
+ protected:
+  // Families indexed by the first tuple element.
+  FamilyParam Family() const {
+    static const FamilyParam kFamilies[] = {
+        {"inner", &PlainInner, false, false, true},
+        {"louter", &PlainLeftOuter, false, true, true},
+        {"fouter", &PlainFullOuter, true, true, true},
+    };
+    return kFamilies[std::get<0>(GetParam())];
+  }
+  uint64_t Seed() const { return std::get<1>(GetParam()); }
+
+  Table E1() const { return RandomSide(Seed() * 3 + 1, "g1", "j1", "a1"); }
+  Table E2() const { return RandomSide(Seed() * 5 + 2, "g2", "j2", "a2"); }
+
+  Table JoinOf(const Table& l, const Table& r,
+               const DefaultVector& dl = {},
+               const DefaultVector& dr = {}) const {
+    switch (std::get<0>(GetParam())) {
+      case 0:
+        return InnerJoin(l, r, Pred());
+      case 1:
+        return LeftOuterJoin(l, r, Pred(), dr);
+      default:
+        return FullOuterJoin(l, r, Pred(), dl, dr);
+    }
+  }
+};
+
+// Eager/Lazy Group-by (Eqvs. 16/17/18): F2 empty, no count needed when only
+// decomposable aggregates of the left side are involved... the paper's
+// variant still carries no count; correctness requires the join not to
+// duplicate groups — which holds when grouping includes the join attribute
+// and the aggregate is duplicate-agnostic (min/max).
+TEST_P(SpecializationTest, EagerGroupByLeftMinMax) {
+  Table e1 = E1();
+  Table e2 = E2();
+  std::vector<ExecAggregate> f = {
+      ExecAggregate::Simple("m", AggKind::kMin, "a1")};
+  Table lhs = GroupBy(JoinOf(e1, e2), {"g1", "j1"}, f);
+
+  Table grouped = GroupBy(e1, {"g1", "j1"},
+                          {ExecAggregate::Simple("mp", AggKind::kMin, "a1")});
+  // Γ result carries mp; defaults: min over {⊥} is NULL -> plain padding.
+  Table joined = JoinOf(grouped, e2);
+  Table rhs = GroupBy(joined, {"g1", "j1"},
+                      {ExecAggregate::Simple("m", AggKind::kMin, "mp")});
+  EXPECT_TRUE(Table::BagEquals(lhs, rhs))
+      << Family().name << "\nlhs:\n"
+      << lhs.ToString() << "rhs:\n"
+      << rhs.ToString();
+}
+
+// Eager/Lazy Count (Eqvs. 22/23/24): F1 empty; only the count is pushed and
+// the right side's aggregates get scaled by it.
+TEST_P(SpecializationTest, EagerCountLeft) {
+  Table e1 = E1();
+  Table e2 = E2();
+  std::vector<ExecAggregate> f = {
+      ExecAggregate::Simple("c", AggKind::kCountStar),
+      ExecAggregate::Simple("s2", AggKind::kSum, "a2")};
+  Table lhs = GroupBy(JoinOf(e1, e2), {"g1", "g2"}, f);
+
+  Table grouped = GroupBy(e1, {"g1", "j1"},
+                          {ExecAggregate::Simple("c1", AggKind::kCountStar)});
+  DefaultVector dl = {{"c1", I(1)}};
+  Table joined = JoinOf(grouped, e2, Family().left_needs_defaults
+                                         ? dl
+                                         : DefaultVector{});
+  ExecAggregate s2;
+  s2.output = "s2";
+  s2.kind = AggKind::kSum;
+  s2.arg = "a2";
+  s2.multipliers = {"c1"};
+  ExecAggregate c;
+  c.output = "c";
+  c.kind = AggKind::kCountStar;
+  c.multipliers = {"c1"};
+  Table rhs = GroupBy(joined, {"g1", "g2"}, {c, s2});
+  EXPECT_TRUE(Table::BagEquals(lhs, rhs))
+      << Family().name << "\nlhs:\n"
+      << lhs.ToString() << "rhs:\n"
+      << rhs.ToString();
+}
+
+// Double Eager/Lazy (Eqvs. 28..33): grouping both sides, aggregates only on
+// the left; the right contributes only its count.
+TEST_P(SpecializationTest, DoubleEager) {
+  if (!Family().right_push_ok) GTEST_SKIP();
+  Table e1 = E1();
+  Table e2 = E2();
+  std::vector<ExecAggregate> f = {
+      ExecAggregate::Simple("s1", AggKind::kSum, "a1"),
+      ExecAggregate::Simple("c", AggKind::kCountStar)};
+  Table lhs = GroupBy(JoinOf(e1, e2), {"g1", "g2"}, f);
+
+  Table g1t = GroupBy(e1, {"g1", "j1"},
+                      {ExecAggregate::Simple("s1p", AggKind::kSum, "a1"),
+                       ExecAggregate::Simple("c1", AggKind::kCountStar)});
+  Table g2t = GroupBy(e2, {"g2", "j2"},
+                      {ExecAggregate::Simple("c2", AggKind::kCountStar)});
+  DefaultVector dl = {{"c1", I(1)}};
+  DefaultVector dr = {{"c2", I(1)}};
+  Table joined = JoinOf(g1t, g2t,
+                        Family().left_needs_defaults ? dl : DefaultVector{},
+                        Family().right_needs_defaults ? dr : DefaultVector{});
+  ExecAggregate s1;
+  s1.output = "s1";
+  s1.kind = AggKind::kSum;
+  s1.arg = "s1p";
+  s1.multipliers = {"c2"};
+  ExecAggregate c;
+  c.output = "c";
+  c.kind = AggKind::kCountStar;
+  c.multipliers = {"c1", "c2"};
+  Table rhs = GroupBy(joined, {"g1", "g2"}, {s1, c});
+  EXPECT_TRUE(Table::BagEquals(lhs, rhs))
+      << Family().name << "\nlhs:\n"
+      << lhs.ToString() << "rhs:\n"
+      << rhs.ToString();
+}
+
+std::string SpecParamName(const ::testing::TestParamInfo<SpecParam>& info) {
+  static const char* kNames[] = {"inner", "louter", "fouter"};
+  return std::string(kNames[std::get<0>(info.param)]) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SpecializationTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Range<uint64_t>(0, 10)),
+                         SpecParamName);
+
+// Eqv. 45: grouping distributes over a union with disjoint group values.
+TEST(UnionEquivalences, Eqv45DisjointGroups) {
+  Table a({"g", "v"});
+  a.AddRow({I(1), I(10)});
+  a.AddRow({I(1), I(20)});
+  Table b({"g", "v"});
+  b.AddRow({I(2), I(5)});
+  std::vector<ExecAggregate> f = {
+      ExecAggregate::Simple("s", AggKind::kSum, "v"),
+      ExecAggregate::Simple("c", AggKind::kCountStar)};
+  Table lhs = GroupBy(UnionAll(a, b), {"g"}, f);
+  Table rhs = UnionAll(GroupBy(a, {"g"}, f), GroupBy(b, {"g"}, f));
+  EXPECT_TRUE(Table::BagEquals(lhs, rhs));
+}
+
+// Eqv. 46: with overlapping groups, an outer re-aggregation merges the
+// partial results (F decomposed into F1/F2).
+TEST(UnionEquivalences, Eqv46OverlappingGroups) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Table a({"g", "v"});
+    Table b({"g", "v"});
+    for (int i = 0; i < 6; ++i) {
+      a.AddRow({I(rng.UniformInt(0, 2)), I(rng.UniformInt(0, 9))});
+      b.AddRow({I(rng.UniformInt(0, 2)), I(rng.UniformInt(0, 9))});
+    }
+    std::vector<ExecAggregate> f = {
+        ExecAggregate::Simple("s", AggKind::kSum, "v"),
+        ExecAggregate::Simple("c", AggKind::kCountStar)};
+    Table lhs = GroupBy(UnionAll(a, b), {"g"}, f);
+    // Inner decomposition F1 then outer F2.
+    std::vector<ExecAggregate> f1 = {
+        ExecAggregate::Simple("sp", AggKind::kSum, "v"),
+        ExecAggregate::Simple("cp", AggKind::kCountStar)};
+    std::vector<ExecAggregate> f2 = {
+        ExecAggregate::Simple("s", AggKind::kSum, "sp"),
+        ExecAggregate::Simple("c", AggKind::kSum, "cp")};
+    Table rhs = GroupBy(
+        UnionAll(GroupBy(a, {"g"}, f1), GroupBy(b, {"g"}, f1)), {"g"}, f2);
+    EXPECT_TRUE(Table::BagEquals(lhs, rhs)) << trial;
+  }
+}
+
+// Eqv. 42: with G a key of a duplicate-free input, grouping degenerates to
+// a per-row map.
+TEST(TopElimination, Eqv42SingleRowGroups) {
+  Table t({"k", "a"});
+  t.AddRow({I(1), I(10)});
+  t.AddRow({I(2), Value::Null()});
+  t.AddRow({I(3), I(30)});
+  std::vector<ExecAggregate> f = {
+      ExecAggregate::Simple("s", AggKind::kSum, "a"),
+      ExecAggregate::Simple("c", AggKind::kCountStar),
+      ExecAggregate::Simple("ca", AggKind::kCount, "a")};
+  Table grouped = GroupBy(t, {"k"}, f);
+
+  std::vector<MapExpr> exprs;
+  MapExpr s;
+  s.output = "s";
+  s.kind = MapExpr::Kind::kMulCounts;  // no counts: identity with NULL prop
+  s.arg = "a";
+  exprs.push_back(s);
+  MapExpr c;
+  c.output = "c";
+  c.kind = MapExpr::Kind::kCountProduct;  // no counts: constant 1
+  exprs.push_back(c);
+  MapExpr ca;
+  ca.output = "ca";
+  ca.kind = MapExpr::Kind::kCountIfNotNull;
+  ca.arg = "a";
+  exprs.push_back(ca);
+  Table mapped = Project(Map(t, exprs), {"k", "s", "c", "ca"});
+  EXPECT_TRUE(Table::BagEquals(grouped, mapped))
+      << grouped.ToString() << mapped.ToString();
+}
+
+}  // namespace
+}  // namespace eadp

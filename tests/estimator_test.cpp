@@ -1,0 +1,90 @@
+#include "cardinality/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+namespace eadp {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog c;
+  int r0 = c.AddRelation("R0", 1000);
+  c.AddAttribute(r0, "R0.j", 100);
+  c.AddAttribute(r0, "R0.g", 10);
+  int r1 = c.AddRelation("R1", 50);
+  c.AddAttribute(r1, "R1.j", 50);
+  return c;
+}
+
+TEST(Estimator, BaseCardinality) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  EXPECT_DOUBLE_EQ(e.BaseCardinality(0), 1000);
+  EXPECT_DOUBLE_EQ(e.BaseCardinality(1), 50);
+}
+
+TEST(Estimator, DistinctCappedByCardinality) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  EXPECT_DOUBLE_EQ(e.DistinctInCard(0, 1000), 100);
+  EXPECT_DOUBLE_EQ(e.DistinctInCard(0, 30), 30);  // capped
+}
+
+TEST(Estimator, GroupingCardinality) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  AttrSet g;
+  g.Add(1);  // d = 10
+  EXPECT_DOUBLE_EQ(e.GroupingCardinality(g, 1000), 10);
+  g.Add(0);  // d = 100 -> product 1000 capped at input card
+  EXPECT_DOUBLE_EQ(e.GroupingCardinality(g, 500), 500);
+  // Empty grouping: a single group (scalar aggregation).
+  EXPECT_DOUBLE_EQ(e.GroupingCardinality(AttrSet(), 500), 1);
+}
+
+TEST(Estimator, InnerJoinCardinality) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  EXPECT_DOUBLE_EQ(e.JoinCardinality(OpKind::kJoin, 1000, 50, 0.01), 500);
+}
+
+TEST(Estimator, OuterJoinsAtLeastPreservedSide) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  // Low selectivity: left outer keeps all left rows.
+  EXPECT_DOUBLE_EQ(e.JoinCardinality(OpKind::kLeftOuter, 1000, 50, 1e-6),
+                   1000);
+  // Full outer keeps both unmatched sides.
+  double k = e.JoinCardinality(OpKind::kFullOuter, 1000, 50, 1e-6);
+  EXPECT_GE(k, 1000 + 50 - 1);
+}
+
+TEST(Estimator, SemiAntiPartitionLeft) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  double semi = e.JoinCardinality(OpKind::kLeftSemi, 1000, 50, 0.01);
+  double anti = e.JoinCardinality(OpKind::kLeftAnti, 1000, 50, 0.01);
+  EXPECT_DOUBLE_EQ(semi + anti, 1000);
+  EXPECT_LE(semi, 1000);
+  // Semi probability saturates at 1.
+  EXPECT_DOUBLE_EQ(e.JoinCardinality(OpKind::kLeftSemi, 1000, 50, 1.0), 1000);
+}
+
+TEST(Estimator, GroupJoinKeepsLeftCardinality) {
+  Catalog c = MakeCatalog();
+  CardinalityEstimator e(&c);
+  EXPECT_DOUBLE_EQ(e.JoinCardinality(OpKind::kGroupJoin, 1000, 50, 0.5),
+                   1000);
+}
+
+TEST(CostModel, CoutDefinition) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.ScanCost(), 0);
+  EXPECT_DOUBLE_EQ(m.BinaryOpCost(10, 3, 4), 17);
+  EXPECT_DOUBLE_EQ(m.GroupingCost(5, 7), 12);
+  EXPECT_DOUBLE_EQ(m.MapCost(7), 7);  // χ and Π are free
+}
+
+}  // namespace
+}  // namespace eadp

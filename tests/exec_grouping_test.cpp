@@ -1,0 +1,225 @@
+// Grouping and aggregate evaluation, including the paper's Fig. 4 example
+// for Eqv. 10 (eager/lazy groupby-count on an inner join).
+
+#include <gtest/gtest.h>
+
+#include "exec/operators.h"
+
+namespace eadp {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value D(double v) { return Value::Double(v); }
+Value N() { return Value::Null(); }
+
+/// Fig. 4: e1(g1, j1, a1) and e2(g2, j2, a2).
+Table MakeFig4E1() {
+  Table t({"g1", "j1", "a1"});
+  t.AddRow({I(1), I(1), I(2)});
+  t.AddRow({I(1), I(2), I(4)});
+  t.AddRow({I(1), I(2), I(8)});
+  return t;
+}
+
+Table MakeFig4E2() {
+  Table t({"g2", "j2", "a2"});
+  t.AddRow({I(1), I(1), I(2)});
+  t.AddRow({I(1), I(1), I(4)});
+  t.AddRow({I(1), I(2), I(8)});
+  return t;
+}
+
+TEST(ExecGrouping, Fig4LazyEvaluation) {
+  // Left-hand side of Eqv. 10: Γ_{g1,g2;F}(e1 ⋈ e2) with
+  // F = c:count(*), b1:sum(a1), b2:sum(a2).
+  Table e3 = InnerJoin(MakeFig4E1(), MakeFig4E2(), {{"j1", "j2", CmpOp::kEq}});
+  ASSERT_EQ(e3.NumRows(), 4u);
+  std::vector<ExecAggregate> f = {
+      ExecAggregate::Simple("c", AggKind::kCountStar),
+      ExecAggregate::Simple("b1", AggKind::kSum, "a1"),
+      ExecAggregate::Simple("b2", AggKind::kSum, "a2")};
+  Table e5 = GroupBy(e3, {"g1", "g2"}, f);
+  Table expected({"g1", "g2", "c", "b1", "b2"});
+  expected.AddRow({I(1), I(1), I(4), I(16), I(22)});
+  EXPECT_TRUE(Table::BagEquals(e5, expected)) << e5.ToString();
+}
+
+TEST(ExecGrouping, Fig4EagerEvaluation) {
+  // Right-hand side of Eqv. 10: the inner grouping produces
+  // e4 = Γ_{g1,j1; c1:count(*), b1':sum(a1)}(e1); after the join, the outer
+  // grouping computes c:sum(c1), b1:sum(b1'), b2:sum(c1*a2) — the last one
+  // via the ⊗ multiplier machinery.
+  std::vector<ExecAggregate> f1 = {
+      ExecAggregate::Simple("c1", AggKind::kCountStar),
+      ExecAggregate::Simple("b1p", AggKind::kSum, "a1")};
+  Table e4 = GroupBy(MakeFig4E1(), {"g1", "j1"}, f1);
+  Table expected_e4({"g1", "j1", "c1", "b1p"});
+  expected_e4.AddRow({I(1), I(1), I(1), I(2)});
+  expected_e4.AddRow({I(1), I(2), I(2), I(12)});
+  EXPECT_TRUE(Table::BagEquals(e4, expected_e4)) << e4.ToString();
+
+  Table e6 = InnerJoin(e4, MakeFig4E2(), {{"j1", "j2", CmpOp::kEq}});
+  ASSERT_EQ(e6.NumRows(), 3u);
+
+  ExecAggregate b2;
+  b2.output = "b2";
+  b2.kind = AggKind::kSum;
+  b2.arg = "a2";
+  b2.multipliers = {"c1"};  // F2 ⊗ c1
+  std::vector<ExecAggregate> f2 = {
+      ExecAggregate::Simple("c", AggKind::kSum, "c1"),
+      ExecAggregate::Simple("b1", AggKind::kSum, "b1p"), b2};
+  Table e7 = GroupBy(e6, {"g1", "g2"}, f2);
+  Table expected({"g1", "g2", "c", "b1", "b2"});
+  expected.AddRow({I(1), I(1), I(4), I(16), I(22)});
+  EXPECT_TRUE(Table::BagEquals(e7, expected)) << e7.ToString();
+}
+
+TEST(ExecGrouping, CountVariantsIgnoreNulls) {
+  Table t({"g", "a"});
+  t.AddRow({I(1), I(5)});
+  t.AddRow({I(1), N()});
+  t.AddRow({I(1), I(5)});
+  std::vector<ExecAggregate> aggs = {
+      ExecAggregate::Simple("cs", AggKind::kCountStar),
+      ExecAggregate::Simple("ca", AggKind::kCount, "a"),
+      ExecAggregate::Simple("cnn", AggKind::kCountNN, "a"),
+      ExecAggregate::Simple("cd", AggKind::kCount, "a", /*distinct=*/true)};
+  Table out = GroupBy(t, {"g"}, aggs);
+  Table expected({"g", "cs", "ca", "cnn", "cd"});
+  expected.AddRow({I(1), I(3), I(2), I(2), I(1)});
+  EXPECT_TRUE(Table::BagEquals(out, expected)) << out.ToString();
+}
+
+TEST(ExecGrouping, SumOverOnlyNullsIsNull) {
+  Table t({"g", "a"});
+  t.AddRow({I(1), N()});
+  t.AddRow({I(1), N()});
+  Table out = GroupBy(t, {"g"},
+                      {ExecAggregate::Simple("s", AggKind::kSum, "a")});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(out.rows()[0][1].is_null());
+}
+
+TEST(ExecGrouping, MinMax) {
+  Table t({"g", "a"});
+  t.AddRow({I(1), I(4)});
+  t.AddRow({I(1), I(-2)});
+  t.AddRow({I(1), N()});
+  t.AddRow({I(2), N()});
+  Table out = GroupBy(t, {"g"},
+                      {ExecAggregate::Simple("lo", AggKind::kMin, "a"),
+                       ExecAggregate::Simple("hi", AggKind::kMax, "a")});
+  Table expected({"g", "lo", "hi"});
+  expected.AddRow({I(1), I(-2), I(4)});
+  expected.AddRow({I(2), N(), N()});
+  EXPECT_TRUE(Table::BagEquals(out, expected)) << out.ToString();
+}
+
+TEST(ExecGrouping, AvgIgnoresNullsAndDividesByCountNN) {
+  Table t({"g", "a"});
+  t.AddRow({I(1), I(3)});
+  t.AddRow({I(1), I(5)});
+  t.AddRow({I(1), N()});
+  Table out =
+      GroupBy(t, {"g"}, {ExecAggregate::Simple("m", AggKind::kAvg, "a")});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][1], D(4.0)));
+}
+
+TEST(ExecGrouping, SumDistinct) {
+  Table t({"g", "a"});
+  t.AddRow({I(1), I(3)});
+  t.AddRow({I(1), I(3)});
+  t.AddRow({I(1), I(5)});
+  Table out = GroupBy(
+      t, {"g"}, {ExecAggregate::Simple("s", AggKind::kSum, "a", true)});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][1], I(8)));
+}
+
+TEST(ExecGrouping, NullGroupsTogether) {
+  // Paper Sec. 2.3 / Paulley: for grouping, NULL equals NULL.
+  Table t({"g", "a"});
+  t.AddRow({N(), I(1)});
+  t.AddRow({N(), I(2)});
+  t.AddRow({I(0), I(4)});
+  Table out = GroupBy(t, {"g"},
+                      {ExecAggregate::Simple("s", AggKind::kSum, "a")});
+  Table expected({"g", "s"});
+  expected.AddRow({N(), I(3)});
+  expected.AddRow({I(0), I(4)});
+  EXPECT_TRUE(Table::BagEquals(out, expected)) << out.ToString();
+}
+
+TEST(ExecGrouping, EmptyInputYieldsNoGroups) {
+  Table t({"g", "a"});
+  Table out = GroupBy(t, {"g"},
+                      {ExecAggregate::Simple("s", AggKind::kSum, "a")});
+  EXPECT_EQ(out.NumRows(), 0u);
+}
+
+TEST(ExecGrouping, GroupByNoColumnsIsSingleGroup) {
+  Table t({"a"});
+  t.AddRow({I(1)});
+  t.AddRow({I(2)});
+  Table out =
+      GroupBy(t, {}, {ExecAggregate::Simple("s", AggKind::kSum, "a")});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][0], I(3)));
+}
+
+TEST(ExecGrouping, MultiplierScalesCountStar) {
+  // count(*) ⊗ c = sum(c).
+  Table t({"g", "c"});
+  t.AddRow({I(1), I(2)});
+  t.AddRow({I(1), I(3)});
+  ExecAggregate agg;
+  agg.output = "n";
+  agg.kind = AggKind::kCountStar;
+  agg.multipliers = {"c"};
+  Table out = GroupBy(t, {"g"}, {agg});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][1], I(5)));
+}
+
+TEST(ExecGrouping, MultiplierScalesCountOfAttribute) {
+  // count(a) ⊗ c = sum(a IS NULL ? 0 : c).
+  Table t({"g", "a", "c"});
+  t.AddRow({I(1), I(7), I(2)});
+  t.AddRow({I(1), N(), I(3)});
+  ExecAggregate agg;
+  agg.output = "n";
+  agg.kind = AggKind::kCount;
+  agg.arg = "a";
+  agg.multipliers = {"c"};
+  Table out = GroupBy(t, {"g"}, {agg});
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][1], I(2)));
+}
+
+TEST(ExecGrouping, TwoMultipliersMultiply) {
+  Table t({"g", "a", "c1", "c2"});
+  t.AddRow({I(1), I(1), I(2), I(3)});
+  ExecAggregate agg;
+  agg.output = "s";
+  agg.kind = AggKind::kSum;
+  agg.arg = "a";
+  agg.multipliers = {"c1", "c2"};
+  Table out = GroupBy(t, {"g"}, {agg});
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][1], I(6)));
+}
+
+TEST(ExecGrouping, GroupJoinWithCountStarOnEmptyGroupIsZero) {
+  Table l({"x"});
+  l.AddRow({I(1)});
+  Table r({"y"});
+  std::vector<ExecAggregate> aggs = {
+      ExecAggregate::Simple("n", AggKind::kCountStar)};
+  Table out = GroupJoin(l, r, {{"x", "y", CmpOp::kEq}}, aggs);
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][1], I(0)));
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,247 @@
+// Tests the bag operators against the paper's Fig. 2 examples.
+
+#include "exec/operators.h"
+
+#include <gtest/gtest.h>
+
+namespace eadp {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value N() { return Value::Null(); }
+
+/// e1 and e2 of Fig. 2.
+Table MakeE1() {
+  Table t({"a", "b", "c"});
+  t.AddRow({I(0), I(0), I(1)});
+  t.AddRow({I(1), I(0), I(1)});
+  t.AddRow({I(2), I(1), I(3)});
+  t.AddRow({I(3), I(2), I(3)});
+  return t;
+}
+
+Table MakeE2() {
+  Table t({"d", "e", "f"});
+  t.AddRow({I(0), I(0), I(1)});
+  t.AddRow({I(1), I(1), I(1)});
+  t.AddRow({I(2), I(2), I(1)});
+  t.AddRow({I(3), I(4), I(2)});
+  return t;
+}
+
+ExecPredicate Eq(const std::string& l, const std::string& r) {
+  return {{l, r, CmpOp::kEq}};
+}
+
+TEST(ExecOperators, Fig2InnerJoin) {
+  Table result = InnerJoin(MakeE1(), MakeE2(), Eq("b", "d"));
+  Table expected({"a", "b", "c", "d", "e", "f"});
+  expected.AddRow({I(0), I(0), I(1), I(0), I(0), I(1)});
+  expected.AddRow({I(1), I(0), I(1), I(0), I(0), I(1)});
+  expected.AddRow({I(2), I(1), I(3), I(1), I(1), I(1)});
+  expected.AddRow({I(3), I(2), I(3), I(2), I(2), I(1)});
+  EXPECT_TRUE(Table::BagEquals(result, expected)) << result.ToString();
+}
+
+TEST(ExecOperators, Fig2SemiJoin) {
+  Table result = LeftSemiJoin(MakeE1(), MakeE2(), Eq("b", "d"));
+  EXPECT_TRUE(Table::BagEquals(result, MakeE1())) << result.ToString();
+}
+
+TEST(ExecOperators, Fig2AntiJoin) {
+  Table result = LeftAntiJoin(MakeE1(), MakeE2(), Eq("a", "e"));
+  Table expected({"a", "b", "c"});
+  expected.AddRow({I(3), I(2), I(3)});
+  EXPECT_TRUE(Table::BagEquals(result, expected)) << result.ToString();
+}
+
+TEST(ExecOperators, Fig2LeftOuterJoin) {
+  Table result = LeftOuterJoin(MakeE1(), MakeE2(), Eq("a", "e"));
+  Table expected({"a", "b", "c", "d", "e", "f"});
+  expected.AddRow({I(0), I(0), I(1), I(0), I(0), I(1)});
+  expected.AddRow({I(1), I(0), I(1), I(1), I(1), I(1)});
+  expected.AddRow({I(2), I(1), I(3), I(2), I(2), I(1)});
+  expected.AddRow({I(3), I(2), I(3), N(), N(), N()});
+  EXPECT_TRUE(Table::BagEquals(result, expected)) << result.ToString();
+}
+
+TEST(ExecOperators, Fig2FullOuterJoin) {
+  Table result = FullOuterJoin(MakeE1(), MakeE2(), Eq("a", "e"));
+  Table expected({"a", "b", "c", "d", "e", "f"});
+  expected.AddRow({I(0), I(0), I(1), I(0), I(0), I(1)});
+  expected.AddRow({I(1), I(0), I(1), I(1), I(1), I(1)});
+  expected.AddRow({I(2), I(1), I(3), I(2), I(2), I(1)});
+  expected.AddRow({I(3), I(2), I(3), N(), N(), N()});
+  expected.AddRow({N(), N(), N(), I(3), I(4), I(2)});
+  EXPECT_TRUE(Table::BagEquals(result, expected)) << result.ToString();
+}
+
+TEST(ExecOperators, Fig2GroupJoin) {
+  // Definition (9): EVERY left tuple is extended; tuples without partners
+  // aggregate over the empty set (sum -> NULL). (Fig. 2's rendering shows
+  // only the matching rows; the formal definition keeps all.)
+  std::vector<ExecAggregate> aggs = {
+      ExecAggregate::Simple("g", AggKind::kSum, "f")};
+  Table result = GroupJoin(MakeE1(), MakeE2(), Eq("a", "f"), aggs);
+  Table expected({"a", "b", "c", "g"});
+  expected.AddRow({I(0), I(0), I(1), N()});
+  expected.AddRow({I(1), I(0), I(1), I(3)});
+  expected.AddRow({I(2), I(1), I(3), I(2)});
+  expected.AddRow({I(3), I(2), I(3), N()});
+  EXPECT_TRUE(Table::BagEquals(result, expected)) << result.ToString();
+}
+
+TEST(ExecOperators, OuterJoinWithDefaults) {
+  // Eqv. 7: unmatched left tuples get default values instead of NULLs.
+  DefaultVector defaults = {{"f", I(1)}};
+  Table result = LeftOuterJoin(MakeE1(), MakeE2(), Eq("a", "e"), defaults);
+  int padded = 0;
+  int f_idx = result.RequireColumn("f");
+  int d_idx = result.RequireColumn("d");
+  for (const Row& r : result.rows()) {
+    if (r[static_cast<size_t>(d_idx)].is_null()) {
+      ++padded;
+      EXPECT_TRUE(Value::GroupEquals(r[static_cast<size_t>(f_idx)], I(1)));
+    }
+  }
+  EXPECT_EQ(padded, 1);
+}
+
+TEST(ExecOperators, FullOuterJoinWithBothDefaults) {
+  DefaultVector left_defaults = {{"c", I(7)}};
+  DefaultVector right_defaults = {{"f", I(9)}};
+  Table result = FullOuterJoin(MakeE1(), MakeE2(), Eq("a", "e"),
+                               left_defaults, right_defaults);
+  int c_idx = result.RequireColumn("c");
+  int f_idx = result.RequireColumn("f");
+  int a_idx = result.RequireColumn("a");
+  int d_idx = result.RequireColumn("d");
+  bool saw_left_pad = false;
+  bool saw_right_pad = false;
+  for (const Row& r : result.rows()) {
+    if (r[static_cast<size_t>(a_idx)].is_null()) {
+      saw_left_pad = true;
+      EXPECT_TRUE(Value::GroupEquals(r[static_cast<size_t>(c_idx)], I(7)));
+    }
+    if (r[static_cast<size_t>(d_idx)].is_null()) {
+      saw_right_pad = true;
+      EXPECT_TRUE(Value::GroupEquals(r[static_cast<size_t>(f_idx)], I(9)));
+    }
+  }
+  EXPECT_TRUE(saw_left_pad);
+  EXPECT_TRUE(saw_right_pad);
+}
+
+TEST(ExecOperators, NullNeverMatchesPredicates) {
+  Table l({"x"});
+  l.AddRow({N()});
+  l.AddRow({I(1)});
+  Table r({"y"});
+  r.AddRow({N()});
+  r.AddRow({I(1)});
+  Table join = InnerJoin(l, r, Eq("x", "y"));
+  EXPECT_EQ(join.NumRows(), 1u);  // only 1 = 1; NULL = NULL is not a match
+  Table outer = LeftOuterJoin(l, r, Eq("x", "y"));
+  EXPECT_EQ(outer.NumRows(), 2u);  // NULL row survives as padded
+}
+
+TEST(ExecOperators, CrossProduct) {
+  Table result = CrossProduct(MakeE1(), MakeE2());
+  EXPECT_EQ(result.NumRows(), 16u);
+  EXPECT_EQ(result.NumColumns(), 6u);
+}
+
+TEST(ExecOperators, EmptyInputs) {
+  Table empty_left(std::vector<std::string>{"a", "b", "c"});
+  Table e2 = MakeE2();
+  EXPECT_EQ(InnerJoin(empty_left, e2, Eq("a", "e")).NumRows(), 0u);
+  EXPECT_EQ(LeftOuterJoin(empty_left, e2, Eq("a", "e")).NumRows(), 0u);
+  // Full outer of empty left: every right row survives padded.
+  EXPECT_EQ(FullOuterJoin(empty_left, e2, Eq("a", "e")).NumRows(), 4u);
+  EXPECT_EQ(LeftAntiJoin(MakeE1(), Table({"d", "e", "f"}), Eq("a", "e"))
+                .NumRows(),
+            4u);
+}
+
+TEST(ExecOperators, SelectAndProject) {
+  Table e1 = MakeE1();
+  Table sel = Select(e1, [](const Table& t, const Row& r) {
+    return !r[static_cast<size_t>(t.ColumnIndex("c"))].is_null() &&
+           r[static_cast<size_t>(t.ColumnIndex("c"))].AsInt() == 3;
+  });
+  EXPECT_EQ(sel.NumRows(), 2u);
+  Table proj = Project(e1, {"c"});
+  EXPECT_EQ(proj.NumRows(), 4u);
+  EXPECT_EQ(proj.NumColumns(), 1u);
+  Table dproj = DistinctProject(e1, {"c"});
+  EXPECT_EQ(dproj.NumRows(), 2u);  // {1, 3}
+}
+
+TEST(ExecOperators, DistinctProjectTreatsNullsEqual) {
+  Table t({"x"});
+  t.AddRow({N()});
+  t.AddRow({N()});
+  t.AddRow({I(1)});
+  EXPECT_EQ(DistinctProject(t, {"x"}).NumRows(), 2u);
+}
+
+TEST(ExecOperators, UnionAllReordersColumns) {
+  Table a({"x", "y"});
+  a.AddRow({I(1), I(2)});
+  Table b({"y", "x"});
+  b.AddRow({I(4), I(3)});
+  Table u = UnionAll(a, b);
+  ASSERT_EQ(u.NumRows(), 2u);
+  Table expected({"x", "y"});
+  expected.AddRow({I(1), I(2)});
+  expected.AddRow({I(3), I(4)});
+  EXPECT_TRUE(Table::BagEquals(u, expected));
+}
+
+TEST(ExecOperators, MapExpressions) {
+  Table t({"a", "c1", "c2"});
+  t.AddRow({I(5), I(2), I(3)});
+  t.AddRow({N(), I(2), I(3)});
+  std::vector<MapExpr> exprs;
+  MapExpr mul;
+  mul.output = "scaled";
+  mul.kind = MapExpr::Kind::kMulCounts;
+  mul.arg = "a";
+  mul.counts = {"c1", "c2"};
+  exprs.push_back(mul);
+  MapExpr prod;
+  prod.output = "prod";
+  prod.kind = MapExpr::Kind::kCountProduct;
+  prod.counts = {"c1", "c2"};
+  exprs.push_back(prod);
+  MapExpr cnn;
+  cnn.output = "cnn";
+  cnn.kind = MapExpr::Kind::kCountIfNotNull;
+  cnn.arg = "a";
+  cnn.counts = {"c1"};
+  exprs.push_back(cnn);
+  Table out = Map(t, exprs);
+  int s = out.RequireColumn("scaled");
+  int p = out.RequireColumn("prod");
+  int c = out.RequireColumn("cnn");
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][static_cast<size_t>(s)], I(30)));
+  EXPECT_TRUE(out.rows()[1][static_cast<size_t>(s)].is_null());
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][static_cast<size_t>(p)], I(6)));
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][static_cast<size_t>(c)], I(2)));
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[1][static_cast<size_t>(c)], I(0)));
+}
+
+TEST(ExecOperators, ThetaJoinFallsBackToNestedLoop) {
+  Table l({"x"});
+  l.AddRow({I(1)});
+  l.AddRow({I(5)});
+  Table r({"y"});
+  r.AddRow({I(3)});
+  ExecPredicate lt = {{"x", "y", CmpOp::kLt}};
+  Table out = InnerJoin(l, r, lt);
+  ASSERT_EQ(out.NumRows(), 1u);
+  EXPECT_TRUE(Value::GroupEquals(out.rows()[0][0], I(1)));
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,111 @@
+#include "catalog/functional_dependency.h"
+
+#include <gtest/gtest.h>
+
+namespace eadp {
+namespace {
+
+AttrSet Set(std::initializer_list<int> xs) {
+  AttrSet s;
+  for (int x : xs) s.Add(x);
+  return s;
+}
+
+TEST(FdSet, ClosureReflexive) {
+  FdSet fds;
+  EXPECT_EQ(fds.Closure(Set({1, 2})), Set({1, 2}));
+}
+
+TEST(FdSet, ClosureTransitive) {
+  FdSet fds;
+  fds.Add(Set({0}), Set({1}));
+  fds.Add(Set({1}), Set({2}));
+  EXPECT_EQ(fds.Closure(Set({0})), Set({0, 1, 2}));
+}
+
+TEST(FdSet, ClosureRequiresFullLhs) {
+  FdSet fds;
+  fds.Add(Set({0, 1}), Set({2}));
+  EXPECT_EQ(fds.Closure(Set({0})), Set({0}));
+  EXPECT_EQ(fds.Closure(Set({0, 1})), Set({0, 1, 2}));
+}
+
+TEST(FdSet, Implies) {
+  FdSet fds;
+  fds.Add(Set({0}), Set({1, 2}));
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({2})));
+  EXPECT_FALSE(fds.Implies(Set({1}), Set({0})));
+}
+
+TEST(FdSet, IsSuperkey) {
+  FdSet fds;
+  fds.Add(Set({0}), Set({1, 2}));
+  EXPECT_TRUE(fds.IsSuperkey(Set({0}), Set({0, 1, 2})));
+  EXPECT_FALSE(fds.IsSuperkey(Set({1}), Set({0, 1, 2})));
+}
+
+TEST(FdSet, CandidateKeysSimple) {
+  FdSet fds;
+  fds.Add(Set({0}), Set({1, 2}));
+  auto keys = fds.CandidateKeys(Set({0, 1, 2}));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], Set({0}));
+}
+
+TEST(FdSet, CandidateKeysMultiple) {
+  // 0 -> 1, 1 -> 0, both determine 2: keys {0} and {1}.
+  FdSet fds;
+  fds.Add(Set({0}), Set({1, 2}));
+  fds.Add(Set({1}), Set({0, 2}));
+  auto keys = fds.CandidateKeys(Set({0, 1, 2}));
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(FdSet, CandidateKeysNoFds) {
+  FdSet fds;
+  auto keys = fds.CandidateKeys(Set({0, 1}));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], Set({0, 1}));  // only the universe itself
+}
+
+TEST(FdSet, Covers) {
+  FdSet a;
+  a.Add(Set({0}), Set({1}));
+  a.Add(Set({1}), Set({2}));
+  FdSet b;
+  b.Add(Set({0}), Set({2}));  // implied by a transitively
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+}
+
+TEST(KeysDominate, SubsetKeysAreStronger) {
+  // {0} implies any key containing 0.
+  std::vector<AttrSet> strong = {Set({0})};
+  std::vector<AttrSet> weak = {Set({0, 1}), Set({0, 2})};
+  EXPECT_TRUE(KeysDominate(strong, weak));
+  EXPECT_FALSE(KeysDominate(weak, strong));
+}
+
+TEST(KeysDominate, EmptyKeySetIsWeakest) {
+  std::vector<AttrSet> none;
+  std::vector<AttrSet> some = {Set({0})};
+  EXPECT_TRUE(KeysDominate(some, none));  // vacuously
+  EXPECT_FALSE(KeysDominate(none, some));
+}
+
+TEST(InsertMinimalKey, DropsSupersets) {
+  std::vector<AttrSet> keys = {Set({0, 1}), Set({2, 3})};
+  InsertMinimalKey(keys, Set({0}));
+  EXPECT_EQ(keys.size(), 2u);  // {0,1} removed, {0} added
+  EXPECT_TRUE(KeysDominate(keys, {Set({0, 1})}));
+}
+
+TEST(InsertMinimalKey, IgnoresRedundantInsert) {
+  std::vector<AttrSet> keys = {Set({0})};
+  InsertMinimalKey(keys, Set({0, 1}));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], Set({0}));
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,75 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+namespace eadp {
+namespace {
+
+RelSet Set(std::initializer_list<int> xs) {
+  RelSet s;
+  for (int x : xs) s.Add(x);
+  return s;
+}
+
+Hypergraph Chain(int n) {
+  Hypergraph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.AddEdge(RelSet::Single(i), RelSet::Single(i + 1), i);
+  }
+  return g;
+}
+
+TEST(Hypergraph, ConnectsSimpleEdges) {
+  Hypergraph g = Chain(4);
+  EXPECT_TRUE(g.Connects(Set({0}), Set({1})));
+  EXPECT_TRUE(g.Connects(Set({1}), Set({0})));
+  EXPECT_FALSE(g.Connects(Set({0}), Set({2})));
+  EXPECT_TRUE(g.Connects(Set({0, 1}), Set({2, 3})));
+}
+
+TEST(Hypergraph, IsConnected) {
+  Hypergraph g = Chain(5);
+  EXPECT_TRUE(g.IsConnected(Set({0})));
+  EXPECT_TRUE(g.IsConnected(Set({0, 1, 2})));
+  EXPECT_FALSE(g.IsConnected(Set({0, 2})));
+  EXPECT_FALSE(g.IsConnected(Set({})));
+  EXPECT_TRUE(g.IsConnected(Set({0, 1, 2, 3, 4})));
+}
+
+TEST(Hypergraph, NeighborhoodSimple) {
+  Hypergraph g = Chain(5);
+  EXPECT_EQ(g.Neighborhood(Set({2}), Set({})), Set({1, 3}));
+  EXPECT_EQ(g.Neighborhood(Set({2}), Set({1})), Set({3}));
+  EXPECT_EQ(g.Neighborhood(Set({0, 1}), Set({})), Set({2}));
+}
+
+TEST(Hypergraph, HyperedgeRequiresFullSideContained) {
+  // Edge {0,1} -- {2}: neighborhood of {0} alone must not see 2.
+  Hypergraph g(3);
+  g.AddEdge(Set({0, 1}), Set({2}), 0);
+  g.AddEdge(Set({0}), Set({1}), 1);
+  EXPECT_EQ(g.Neighborhood(Set({0}), Set({})), Set({1}));
+  EXPECT_EQ(g.Neighborhood(Set({0, 1}), Set({})), Set({2}));
+  EXPECT_FALSE(g.Connects(Set({0}), Set({2})));
+  EXPECT_TRUE(g.Connects(Set({0, 1}), Set({2})));
+}
+
+TEST(Hypergraph, HyperedgeNeighborhoodUsesRepresentative) {
+  // Edge {0} -- {1,2}: from {0}, only the representative min{1,2}=1 shows.
+  Hypergraph g(3);
+  g.AddEdge(Set({0}), Set({1, 2}), 0);
+  EXPECT_EQ(g.Neighborhood(Set({0}), Set({})), Set({1}));
+  // If part of the hypernode is forbidden, the edge gives no neighbor.
+  EXPECT_EQ(g.Neighborhood(Set({0}), Set({2})), Set({}));
+}
+
+TEST(Hypergraph, ConnectivityThroughHyperedge) {
+  Hypergraph g(3);
+  g.AddEdge(Set({0}), Set({1, 2}), 0);
+  g.AddEdge(Set({1}), Set({2}), 1);
+  EXPECT_TRUE(g.IsConnected(Set({0, 1, 2})));
+  EXPECT_FALSE(g.IsConnected(Set({0, 1})));  // hyperedge needs {1,2} whole
+}
+
+}  // namespace
+}  // namespace eadp

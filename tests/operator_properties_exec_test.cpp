@@ -1,0 +1,164 @@
+// Semantic verification of the reorderability property tables.
+//
+// Every `true` entry of the assoc / l-asscom / r-asscom tables
+// (conflict/operator_properties.cc) is an equivalence claim about
+// null-rejecting-predicate expressions. This suite *executes* both sides
+// of each claimed identity on randomized three-relation inputs (with
+// NULLs, duplicates and empty inputs) and compares the results as bags —
+// a wrong `true` entry here would mean the conflict detector admits
+// incorrect reorderings.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "conflict/operator_properties.h"
+#include "exec/operators.h"
+
+namespace eadp {
+namespace {
+
+/// e1(g1, j1, k1), e2(j2, k2), e3(j3, k3): random with NULLs + duplicates.
+Table RandomTable(uint64_t seed, std::vector<std::string> cols) {
+  Rng rng(seed);
+  Table t(cols);
+  int rows = static_cast<int>(rng.UniformInt(0, 8));
+  for (int i = 0; i < rows; ++i) {
+    Row row;
+    for (size_t c = 0; c < t.NumColumns(); ++c) {
+      row.push_back(rng.Bernoulli(0.12)
+                        ? Value::Null()
+                        : Value::Int(rng.UniformInt(0, 3)));
+    }
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+/// Applies operator `kind` with predicate `l = r`; groupjoins count their
+/// partners into `gj_out`.
+Table Apply(OpKind kind, const Table& a, const Table& b,
+            const std::string& l, const std::string& r,
+            const std::string& gj_out) {
+  ExecPredicate pred = {{l, r, CmpOp::kEq}};
+  switch (kind) {
+    case OpKind::kJoin:
+      return InnerJoin(a, b, pred);
+    case OpKind::kLeftSemi:
+      return LeftSemiJoin(a, b, pred);
+    case OpKind::kLeftAnti:
+      return LeftAntiJoin(a, b, pred);
+    case OpKind::kLeftOuter:
+      return LeftOuterJoin(a, b, pred);
+    case OpKind::kFullOuter:
+      return FullOuterJoin(a, b, pred);
+    case OpKind::kGroupJoin:
+      return GroupJoin(a, b, pred,
+                       {ExecAggregate::Simple(gj_out, AggKind::kCountStar)});
+  }
+  return Table();
+}
+
+const OpKind kAllOps[] = {OpKind::kJoin,      OpKind::kLeftSemi,
+                          OpKind::kLeftAnti,  OpKind::kLeftOuter,
+                          OpKind::kFullOuter, OpKind::kGroupJoin};
+
+class PropertyTableTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Table E1() const { return RandomTable(GetParam() * 7 + 1, {"g1", "j1", "k1"}); }
+  Table E2() const { return RandomTable(GetParam() * 11 + 2, {"j2", "k2"}); }
+  Table E3() const { return RandomTable(GetParam() * 13 + 3, {"j3", "k3"}); }
+};
+
+TEST_P(PropertyTableTest, AssocEntriesHoldOnData) {
+  // assoc(a, b): (e1 a_{j1=j2} e2) b_{k2=j3} e3 ≡ e1 a (e2 b e3).
+  for (OpKind a : kAllOps) {
+    for (OpKind b : kAllOps) {
+      if (!OpAssoc(a, b)) continue;
+      Table e1 = E1();
+      Table e2 = E2();
+      Table e3 = E3();
+      Table lhs = Apply(b, Apply(a, e1, e2, "j1", "j2", "za"), e3, "k2", "j3",
+                        "zb");
+      Table rhs = Apply(a, e1, Apply(b, e2, e3, "k2", "j3", "zb"), "j1", "j2",
+                        "za");
+      EXPECT_TRUE(Table::BagEquals(lhs, rhs))
+          << "assoc(" << OpKindName(a) << "," << OpKindName(b) << ") seed "
+          << GetParam() << "\nlhs:\n"
+          << lhs.ToString() << "rhs:\n"
+          << rhs.ToString();
+    }
+  }
+}
+
+TEST_P(PropertyTableTest, LeftAsscomEntriesHoldOnData) {
+  // l-asscom(a, b): (e1 a_{j1=j2} e2) b_{k1=j3} e3
+  //               ≡ (e1 b_{k1=j3} e3) a_{j1=j2} e2.
+  for (OpKind a : kAllOps) {
+    for (OpKind b : kAllOps) {
+      if (!OpLeftAsscom(a, b)) continue;
+      Table e1 = E1();
+      Table e2 = E2();
+      Table e3 = E3();
+      Table lhs = Apply(b, Apply(a, e1, e2, "j1", "j2", "za"), e3, "k1", "j3",
+                        "zb");
+      Table rhs = Apply(a, Apply(b, e1, e3, "k1", "j3", "zb"), e2, "j1", "j2",
+                        "za");
+      EXPECT_TRUE(Table::BagEquals(lhs, rhs))
+          << "l-asscom(" << OpKindName(a) << "," << OpKindName(b) << ") seed "
+          << GetParam() << "\nlhs:\n"
+          << lhs.ToString() << "rhs:\n"
+          << rhs.ToString();
+    }
+  }
+}
+
+TEST_P(PropertyTableTest, RightAsscomEntriesHoldOnData) {
+  // r-asscom(a, b): e1 a_{j1=j3} (e2 b_{k2=k3} e3)
+  //               ≡ e2 b_{k2=k3} (e1 a_{j1=j3} e3).
+  for (OpKind a : kAllOps) {
+    for (OpKind b : kAllOps) {
+      if (!OpRightAsscom(a, b)) continue;
+      Table e1 = E1();
+      Table e2 = E2();
+      Table e3 = E3();
+      Table lhs = Apply(a, e1, Apply(b, e2, e3, "k2", "k3", "zb"), "j1", "j3",
+                        "za");
+      Table rhs = Apply(b, e2, Apply(a, e1, e3, "j1", "j3", "za"), "k2", "k3",
+                        "zb");
+      EXPECT_TRUE(Table::BagEquals(lhs, rhs))
+          << "r-asscom(" << OpKindName(a) << "," << OpKindName(b) << ") seed "
+          << GetParam() << "\nlhs:\n"
+          << lhs.ToString() << "rhs:\n"
+          << rhs.ToString();
+    }
+  }
+}
+
+TEST_P(PropertyTableTest, KnownFalseEntriesActuallyFailSomewhere) {
+  // Sanity in the other direction (meta-test, aggregated over seeds by the
+  // suite): assoc(E, B) is false in the table; on at least some inputs the
+  // two nestings really do differ — recorded here for one deterministic
+  // witness so the table's conservatism is justified by data.
+  if (GetParam() != 0) GTEST_SKIP();
+  Table e1({"j1"});
+  e1.AddRow({Value::Int(1)});
+  Table e2({"j2", "k2"});  // empty: the outer join pads e1
+  Table e3({"j3"});
+  e3.AddRow({Value::Int(2)});
+  // (e1 E e2) B_{k2=j3} e3: padded row has k2 NULL -> join drops it: empty.
+  Table lhs = Apply(OpKind::kJoin,
+                    Apply(OpKind::kLeftOuter, e1, e2, "j1", "j2", ""), e3,
+                    "k2", "j3", "");
+  // e1 E (e2 B e3): right side empty -> e1 padded: one row.
+  Table rhs = Apply(OpKind::kLeftOuter, e1,
+                    Apply(OpKind::kJoin, e2, e3, "k2", "j3", ""), "j1", "j2",
+                    "");
+  EXPECT_EQ(lhs.NumRows(), 0u);
+  EXPECT_EQ(rhs.NumRows(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTableTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,78 @@
+#include "plangen/plan_explain.h"
+
+#include <gtest/gtest.h>
+
+#include "plangen/plangen.h"
+#include "queries/tpch.h"
+
+namespace eadp {
+namespace {
+
+OptimizeResult OptimizeEx() {
+  Query q = MakeTpchEx();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kEaPrune;
+  return Optimize(q, opt);
+}
+
+TEST(PlanExplain, DotContainsEveryNodeAndEdges) {
+  Query q = MakeTpchEx();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kEaPrune;
+  OptimizeResult r = Optimize(q, opt);
+  std::string dot = PlanToDot(r.plan, q.catalog());
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("fouter"), std::string::npos);
+  EXPECT_NE(dot.find("supplier"), std::string::npos);
+  EXPECT_NE(dot.find("customer"), std::string::npos);
+  // One node line per plan node.
+  int node_count = r.plan->NodeCount();
+  int lines = 0;
+  for (size_t pos = 0; (pos = dot.find("[shape=box", pos)) != std::string::npos;
+       ++pos) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, node_count);
+  // Edges: every non-root node has exactly one parent.
+  int edges = 0;
+  for (size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       ++pos) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, node_count - 1);
+}
+
+TEST(PlanExplain, JsonIsBalancedAndContainsCosts) {
+  Query q = MakeTpchEx();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kEaPrune;
+  OptimizeResult r = Optimize(q, opt);
+  std::string json = PlanToJson(r.plan, q.catalog());
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"cost\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cardinality\":"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":"), std::string::npos);
+}
+
+TEST(PlanExplain, NullPlan) {
+  Catalog c;
+  EXPECT_EQ(PlanToJson(nullptr, c), "null");
+  EXPECT_NE(PlanToDot(nullptr, c).find("digraph"), std::string::npos);
+}
+
+TEST(PlanExplain, GroupNodesHighlighted) {
+  OptimizeResult r = OptimizeEx();
+  Query q = MakeTpchEx();
+  std::string dot = PlanToDot(r.plan, q.catalog());
+  // Ex pushes groupings: the dot output marks them.
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,129 @@
+// FD derivation through plan operators and the full-FD dominance option.
+
+#include "plangen/plan_fds.h"
+
+#include <gtest/gtest.h>
+
+#include "plangen/plangen.h"
+#include "queries/query_generator.h"
+
+namespace eadp {
+namespace {
+
+AttrSet Set(std::initializer_list<int> xs) {
+  AttrSet s;
+  for (int x : xs) s.Add(x);
+  return s;
+}
+
+Catalog TwoKeyedRelations() {
+  Catalog c;
+  int r0 = c.AddRelation("R0", 100);
+  c.AddAttribute(r0, "R0.k", 100);  // 0
+  c.AddAttribute(r0, "R0.x", 10);   // 1
+  c.DeclareKey(r0, Set({0}));
+  int r1 = c.AddRelation("R1", 100);
+  c.AddAttribute(r1, "R1.k", 100);  // 2
+  c.AddAttribute(r1, "R1.x", 10);   // 3
+  c.DeclareKey(r1, Set({2}));
+  return c;
+}
+
+TEST(PlanFds, ScanDerivesKeyFds) {
+  Catalog c = TwoKeyedRelations();
+  FdSet fds = ScanFds(c, 0);
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({1})));
+  EXPECT_FALSE(fds.Implies(Set({1}), Set({0})));
+}
+
+TEST(PlanFds, InnerJoinAddsEqualityFds) {
+  Catalog c = TwoKeyedRelations();
+  JoinPredicate pred;
+  pred.AddEquality(0, 2);
+  FdSet fds = JoinFds(PlanOp::kJoin, ScanFds(c, 0), ScanFds(c, 1), pred);
+  // R0.k = R1.k chains: R0.k -> R1.k -> R1.x.
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({2})));
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({3})));
+  EXPECT_TRUE(fds.Implies(Set({2}), Set({1})));
+}
+
+TEST(PlanFds, OuterJoinDropsEqualityFdsButKeepsInputFds) {
+  Catalog c = TwoKeyedRelations();
+  JoinPredicate pred;
+  pred.AddEquality(0, 2);
+  FdSet fds =
+      JoinFds(PlanOp::kLeftOuter, ScanFds(c, 0), ScanFds(c, 1), pred);
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({1})));
+  EXPECT_TRUE(fds.Implies(Set({2}), Set({3})));
+  // The equality does not survive NULL padding.
+  EXPECT_FALSE(fds.Implies(Set({0}), Set({2})));
+}
+
+TEST(PlanFds, SemiJoinKeepsLeftOnly) {
+  Catalog c = TwoKeyedRelations();
+  JoinPredicate pred;
+  pred.AddEquality(0, 2);
+  FdSet fds = JoinFds(PlanOp::kLeftSemi, ScanFds(c, 0), ScanFds(c, 1), pred);
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({1})));
+  EXPECT_FALSE(fds.Implies(Set({2}), Set({3})));
+}
+
+TEST(PlanFds, GroupingRestrictsToSurvivors) {
+  FdSet child;
+  child.Add(Set({0}), Set({1, 2}));
+  child.Add(Set({3}), Set({0}));
+  FdSet fds = GroupingFds(child, Set({0, 1}));
+  EXPECT_TRUE(fds.Implies(Set({0}), Set({1})));
+  // 0 -> 2: attribute 2 is aggregated away.
+  EXPECT_FALSE(fds.Implies(Set({0}), Set({2})));
+  // 3 -> 0: the lhs is gone.
+  EXPECT_FALSE(fds.Implies(Set({3}), Set({0})));
+}
+
+TEST(PlanFds, FdsDominateIsClosureBased) {
+  FdSet a;
+  a.Add(Set({0}), Set({1}));
+  a.Add(Set({1}), Set({2}));
+  FdSet b;
+  b.Add(Set({0}), Set({2}));  // implied transitively by a
+  EXPECT_TRUE(FdsDominate(a, b));
+  EXPECT_FALSE(FdsDominate(b, a));
+}
+
+TEST(FullFdDominance, PreservesOptimalityLikeEaAll) {
+  GeneratorOptions gen;
+  gen.num_relations = 5;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Query q = GenerateRandomQuery(gen, seed + 300);
+    OptimizerOptions all;
+    all.algorithm = Algorithm::kEaAll;
+    OptimizerOptions fd;
+    fd.algorithm = Algorithm::kEaPrune;
+    fd.full_fd_dominance = true;
+    double cost_all = Optimize(q, all).plan->cost;
+    double cost_fd = Optimize(q, fd).plan->cost;
+    EXPECT_NEAR(cost_all, cost_fd, 1e-9 * (1 + cost_all)) << "seed " << seed;
+  }
+}
+
+TEST(FullFdDominance, PrunesNoMoreThanKeyWeakening) {
+  // The FD criterion is checked in addition to the key criterion, so the
+  // table can only grow (fewer plans dominated).
+  GeneratorOptions gen;
+  gen.num_relations = 6;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Query q = GenerateRandomQuery(gen, seed + 900);
+    OptimizerOptions keys;
+    keys.algorithm = Algorithm::kEaPrune;
+    OptimizerOptions fd = keys;
+    fd.full_fd_dominance = true;
+    OptimizeResult with_keys = Optimize(q, keys);
+    OptimizeResult with_fd = Optimize(q, fd);
+    EXPECT_GE(with_fd.stats.table_plans, with_keys.stats.table_plans);
+    EXPECT_NEAR(with_fd.plan->cost, with_keys.plan->cost,
+                1e-9 * (1 + with_fd.plan->cost));
+  }
+}
+
+}  // namespace
+}  // namespace eadp

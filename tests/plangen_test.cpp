@@ -1,0 +1,156 @@
+// Plan generator integration tests: optimality relations between the five
+// algorithms, plan well-formedness, statistics.
+
+#include "plangen/plangen.h"
+
+#include <gtest/gtest.h>
+
+#include "queries/query_generator.h"
+#include "tests/test_util.h"
+
+namespace eadp {
+namespace {
+
+OptimizerOptions Opts(Algorithm a) {
+  OptimizerOptions o;
+  o.algorithm = a;
+  return o;
+}
+
+class RandomQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomQueryTest, PruningPreservesOptimality) {
+  GeneratorOptions gen;
+  gen.num_relations = 3 + GetParam() % 4;  // 3..6
+  Query q = GenerateRandomQuery(gen, static_cast<uint64_t>(GetParam()));
+  OptimizeResult all = Optimize(q, Opts(Algorithm::kEaAll));
+  OptimizeResult pruned = Optimize(q, Opts(Algorithm::kEaPrune));
+  ASSERT_NE(all.plan, nullptr);
+  ASSERT_NE(pruned.plan, nullptr);
+  EXPECT_NEAR(all.plan->cost, pruned.plan->cost,
+              1e-9 * (1 + all.plan->cost))
+      << "EA-All:\n"
+      << all.plan->ToString(q.catalog()) << "EA-Prune:\n"
+      << pruned.plan->ToString(q.catalog());
+  // Pruning must not enlarge the table.
+  EXPECT_LE(pruned.stats.table_plans, all.stats.table_plans);
+}
+
+TEST_P(RandomQueryTest, HeuristicsAndBaselineNeverBeatOptimal) {
+  GeneratorOptions gen;
+  gen.num_relations = 3 + GetParam() % 4;
+  Query q = GenerateRandomQuery(gen, static_cast<uint64_t>(GetParam()) + 1000);
+  double optimal = Optimize(q, Opts(Algorithm::kEaPrune)).plan->cost;
+  const double eps = 1e-9 * (1 + optimal);
+  for (Algorithm a : {Algorithm::kDphyp, Algorithm::kH1, Algorithm::kH2}) {
+    OptimizeResult r = Optimize(q, Opts(a));
+    ASSERT_NE(r.plan, nullptr) << AlgorithmName(a);
+    EXPECT_GE(r.plan->cost, optimal - eps) << AlgorithmName(a);
+  }
+}
+
+TEST_P(RandomQueryTest, EagerPlansNeverCostMoreThanBaseline) {
+  // The eager search space contains every baseline plan, so the optimum
+  // over it can only be cheaper.
+  GeneratorOptions gen;
+  gen.num_relations = 3 + GetParam() % 4;
+  Query q = GenerateRandomQuery(gen, static_cast<uint64_t>(GetParam()) + 2000);
+  double optimal = Optimize(q, Opts(Algorithm::kEaPrune)).plan->cost;
+  double baseline = Optimize(q, Opts(Algorithm::kDphyp)).plan->cost;
+  EXPECT_LE(optimal, baseline * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest, ::testing::Range(0, 24));
+
+TEST(PlanGen, PlanCoversAllRelationsAndOps) {
+  GeneratorOptions gen;
+  gen.num_relations = 5;
+  Query q = GenerateRandomQuery(gen, 7);
+  OptimizeResult r = Optimize(q, Opts(Algorithm::kEaPrune));
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_EQ(r.plan->rels, q.AllRelations());
+  // Root is the final map; its child either a final grouping or a join.
+  EXPECT_EQ(r.plan->op, PlanOp::kFinalMap);
+  // Count binary nodes: must apply every input operator exactly once.
+  std::function<int(const PlanNode&)> count_ops = [&](const PlanNode& n) {
+    int c = n.IsBinary() ? static_cast<int>(n.op_indices.size()) : 0;
+    if (n.left) c += count_ops(*n.left);
+    if (n.right) c += count_ops(*n.right);
+    return c;
+  };
+  EXPECT_EQ(count_ops(*r.plan), static_cast<int>(q.ops().size()));
+}
+
+TEST(PlanGen, StatsArePopulated) {
+  GeneratorOptions gen;
+  gen.num_relations = 4;
+  Query q = GenerateRandomQuery(gen, 3);
+  OptimizeResult r = Optimize(q, Opts(Algorithm::kEaPrune));
+  EXPECT_GT(r.stats.ccp_count, 0u);
+  EXPECT_GT(r.stats.plans_built, 0u);
+  EXPECT_GT(r.stats.table_classes, 0u);
+  EXPECT_GE(r.stats.optimize_ms, 0.0);
+}
+
+TEST(PlanGen, SingleJoinInnerQueryBasics) {
+  TwoRelSpec spec;
+  spec.kind = OpKind::kJoin;
+  spec.mix = AggMix::kSumBoth;
+  Query q = MakeTwoRelQuery(spec);
+  OptimizeResult r = Optimize(q, Opts(Algorithm::kEaPrune));
+  ASSERT_NE(r.plan, nullptr);
+  // Eager aggregation must win here: grouping R1 (2000 rows, 200 join
+  // values) before the join shrinks the join input massively.
+  OptimizeResult baseline = Optimize(q, Opts(Algorithm::kDphyp));
+  EXPECT_LT(r.plan->cost, baseline.plan->cost);
+  EXPECT_GT(r.plan->PushedGroupingCount(), 0);
+}
+
+TEST(PlanGen, DistinctAggregateBlocksPushdownOnItsSide) {
+  TwoRelSpec spec;
+  spec.kind = OpKind::kJoin;
+  spec.mix = AggMix::kDistinctRight;  // count(distinct R1.v)
+  Query q = MakeTwoRelQuery(spec);
+  OptimizeResult r = Optimize(q, Opts(Algorithm::kEaPrune));
+  ASSERT_NE(r.plan, nullptr);
+  // No grouping may be pushed onto R1's side (R1.v not in G+).
+  std::function<bool(const PlanNode&)> has_bad_group =
+      [&](const PlanNode& n) {
+        if (n.op == PlanOp::kGroup && n.rels.Contains(1)) return true;
+        if (n.left && has_bad_group(*n.left)) return true;
+        if (n.right && has_bad_group(*n.right)) return true;
+        return false;
+      };
+  EXPECT_FALSE(has_bad_group(*r.plan)) << r.plan->ToString(q.catalog());
+}
+
+TEST(PlanGen, OuterJoinQueriesProduceEagerPlans) {
+  // The headline capability: pushing grouping below a full outerjoin.
+  TwoRelSpec spec;
+  spec.kind = OpKind::kFullOuter;
+  spec.mix = AggMix::kSumBoth;
+  Query q = MakeTwoRelQuery(spec);
+  OptimizeResult r = Optimize(q, Opts(Algorithm::kEaPrune));
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_GT(r.plan->PushedGroupingCount(), 0)
+      << r.plan->ToString(q.catalog());
+  OptimizeResult baseline = Optimize(q, Opts(Algorithm::kDphyp));
+  EXPECT_LT(r.plan->cost, baseline.plan->cost);
+}
+
+TEST(PlanGen, H2ToleranceExtremesMatchReferencePoints) {
+  // F = 1 makes CompareAdjustedCosts the plain comparison, i.e. H1.
+  GeneratorOptions gen;
+  gen.num_relations = 5;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Query q = GenerateRandomQuery(gen, seed + 500);
+    OptimizerOptions h1 = Opts(Algorithm::kH1);
+    OptimizerOptions h2 = Opts(Algorithm::kH2);
+    h2.h2_tolerance = 1.0;
+    EXPECT_DOUBLE_EQ(Optimize(q, h1).plan->cost,
+                     Optimize(q, h2).plan->cost);
+  }
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,140 @@
+#include "queries/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "queries/random_tree.h"
+
+namespace eadp {
+namespace {
+
+TEST(RandomTree, CatalanNumbers) {
+  EXPECT_EQ(CatalanNumber(0), 1u);
+  EXPECT_EQ(CatalanNumber(1), 1u);
+  EXPECT_EQ(CatalanNumber(2), 2u);
+  EXPECT_EQ(CatalanNumber(3), 5u);
+  EXPECT_EQ(CatalanNumber(4), 14u);
+  EXPECT_EQ(CatalanNumber(10), 16796u);
+  EXPECT_EQ(CatalanNumber(19), 1767263190u);
+}
+
+TEST(RandomTree, UnrankCoversAllShapesExactlyOnce) {
+  // For n = 4 leaves there are C(3) = 5 shapes; all ranks give distinct
+  // shapes with 4 leaves in left-to-right order.
+  std::set<std::string> shapes;
+  for (uint64_t r = 0; r < NumBinaryTrees(4); ++r) {
+    auto t = UnrankBinaryTree(4, r);
+    EXPECT_EQ(t->NumLeaves(), 4);
+    // Serialize the shape.
+    std::function<std::string(const TreeShape&)> ser =
+        [&](const TreeShape& n) -> std::string {
+      if (n.is_leaf) return std::to_string(n.leaf_index);
+      return "(" + ser(*n.left) + "," + ser(*n.right) + ")";
+    };
+    shapes.insert(ser(*t));
+  }
+  EXPECT_EQ(shapes.size(), 5u);
+}
+
+TEST(RandomTree, LeafIndicesLeftToRight) {
+  auto t = UnrankBinaryTree(5, 3);
+  std::vector<int> leaves;
+  std::function<void(const TreeShape&)> collect = [&](const TreeShape& n) {
+    if (n.is_leaf) {
+      leaves.push_back(n.leaf_index);
+      return;
+    }
+    collect(*n.left);
+    collect(*n.right);
+  };
+  collect(*t);
+  EXPECT_EQ(leaves, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(QueryGenerator, DeterministicInSeed) {
+  GeneratorOptions gen;
+  gen.num_relations = 6;
+  Query a = GenerateRandomQuery(gen, 5);
+  Query b = GenerateRandomQuery(gen, 5);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  Query c = GenerateRandomQuery(gen, 6);
+  EXPECT_NE(a.ToString(), c.ToString());
+}
+
+TEST(QueryGenerator, StructuralInvariants) {
+  GeneratorOptions gen;
+  for (int n = 2; n <= 10; ++n) {
+    gen.num_relations = n;
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+      Query q = GenerateRandomQuery(gen, seed);
+      EXPECT_EQ(q.NumRelations(), n);
+      EXPECT_EQ(q.ops().size(), static_cast<size_t>(n - 1));
+      EXPECT_FALSE(q.group_by().empty());
+      EXPECT_FALSE(q.aggregates().empty());
+      // Grouping attributes and aggregate args only from visible rels.
+      RelSet visible = q.VisibleRelations();
+      EXPECT_TRUE(
+          q.catalog().RelationsOf(q.group_by()).IsSubsetOf(visible));
+      for (const AggregateFunction& f : q.aggregates()) {
+        if (f.arg >= 0) {
+          EXPECT_TRUE(visible.Contains(q.catalog().RelationOf(f.arg)));
+        }
+      }
+      // Every operator's predicate spans its two sides.
+      for (const QueryOp& op : q.ops()) {
+        AttrSet refs = op.predicate.ReferencedAttrs();
+        EXPECT_TRUE(
+            q.catalog().RelationsOf(refs).Intersects(op.left_rels));
+        EXPECT_TRUE(
+            q.catalog().RelationsOf(refs).Intersects(op.right_rels));
+      }
+    }
+  }
+}
+
+TEST(QueryGenerator, InnerOnlyFlag) {
+  GeneratorOptions gen;
+  gen.num_relations = 8;
+  gen.inner_joins_only = true;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Query q = GenerateRandomQuery(gen, seed);
+    for (const QueryOp& op : q.ops()) {
+      EXPECT_EQ(op.kind, OpKind::kJoin);
+    }
+  }
+}
+
+TEST(QueryGenerator, AvgGetsCanonicalized) {
+  GeneratorOptions gen;
+  gen.num_relations = 4;
+  gen.avg_agg_probability = 1.0;
+  gen.distinct_agg_probability = 0.0;
+  bool saw_division = false;
+  for (uint64_t seed = 0; seed < 20 && !saw_division; ++seed) {
+    Query q = GenerateRandomQuery(gen, seed);
+    for (const AggregateFunction& f : q.aggregates()) {
+      EXPECT_NE(f.kind, AggKind::kAvg);  // canonicalized away
+    }
+    saw_division |= !q.final_divisions().empty();
+  }
+  EXPECT_TRUE(saw_division);
+}
+
+TEST(QueryGenerator, GroupJoinsCarryAggregates) {
+  GeneratorOptions gen;
+  gen.num_relations = 6;
+  gen.w_groupjoin = 10;  // force many groupjoins
+  bool saw = false;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Query q = GenerateRandomQuery(gen, seed);
+    for (const QueryOp& op : q.ops()) {
+      if (op.kind == OpKind::kGroupJoin) {
+        saw = true;
+        EXPECT_FALSE(op.groupjoin_aggs.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace eadp

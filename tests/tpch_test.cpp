@@ -1,0 +1,118 @@
+// TPC-H queries (Sec. 1 and Sec. 5.4): plan shapes, cost relations, and
+// executable verification of the intro example Ex.
+
+#include "queries/tpch.h"
+
+#include <gtest/gtest.h>
+
+#include "plangen/plangen.h"
+
+namespace eadp {
+namespace {
+
+OptimizerOptions Opts(Algorithm a) {
+  OptimizerOptions o;
+  o.algorithm = a;
+  return o;
+}
+
+TEST(TpchEx, EagerAggregationWinsBigBelowTheFullOuterJoin) {
+  Query q = MakeTpchEx();
+  OptimizeResult ea = Optimize(q, Opts(Algorithm::kEaPrune));
+  OptimizeResult baseline = Optimize(q, Opts(Algorithm::kDphyp));
+  ASSERT_NE(ea.plan, nullptr);
+  ASSERT_NE(baseline.plan, nullptr);
+
+  // The paper reports orders of magnitude (Sec. 1: 2140 ms -> 1.51 ms).
+  // In C_out terms with SF-1 statistics, the eager plan must be at least
+  // 100x cheaper.
+  EXPECT_LT(ea.plan->cost * 100, baseline.plan->cost)
+      << "eager:\n"
+      << ea.plan->ToString(q.catalog()) << "baseline:\n"
+      << baseline.plan->ToString(q.catalog());
+  // Grouping is pushed below the full outerjoin on both sides.
+  EXPECT_GE(ea.plan->PushedGroupingCount(), 2)
+      << ea.plan->ToString(q.catalog());
+}
+
+TEST(TpchEx, ExecutedPlansAgreeOnMiniData) {
+  Query q = MakeTpchEx();
+  Database db = MakeExDatabase(q, /*scale=*/2, /*seed=*/42);
+  OptimizeResult ea = Optimize(q, Opts(Algorithm::kEaPrune));
+  OptimizeResult baseline = Optimize(q, Opts(Algorithm::kDphyp));
+  Table got_ea = ExecutePlan(ea.plan, q, db);
+  Table got_base = ExecutePlan(baseline.plan, q, db);
+  Table want = ExecuteCanonical(q, db);
+  EXPECT_TRUE(Table::BagEquals(got_ea, want)) << got_ea.ToString();
+  EXPECT_TRUE(Table::BagEquals(got_base, want)) << got_base.ToString();
+  // Every (supplier-nation x customer-nation) pair with both sides
+  // populated appears, 25x25 at this scale plus possible orphan rows.
+  EXPECT_GE(want.NumRows(), 25u);
+}
+
+TEST(TpchEx, HeuristicsAlsoFindTheEagerPlan) {
+  // Ex benefits most (Table 2: all eager algorithms reach rel. cost
+  // 6.1e-4); even H1's local comparison fires here because the groupings
+  // pay off immediately below the outer join.
+  Query q = MakeTpchEx();
+  double base = Optimize(q, Opts(Algorithm::kDphyp)).plan->cost;
+  double ea = Optimize(q, Opts(Algorithm::kEaPrune)).plan->cost;
+  double h1 = Optimize(q, Opts(Algorithm::kH1)).plan->cost;
+  double h2 = Optimize(q, Opts(Algorithm::kH2)).plan->cost;
+  EXPECT_NEAR(h1, ea, 1e-6 * ea);
+  EXPECT_NEAR(h2, ea, 1e-6 * ea);
+  EXPECT_LT(ea / base, 0.01);
+}
+
+TEST(TpchQ3, EagerAggregationHelps) {
+  Query q = MakeTpchQ3();
+  double base = Optimize(q, Opts(Algorithm::kDphyp)).plan->cost;
+  double ea = Optimize(q, Opts(Algorithm::kEaPrune)).plan->cost;
+  // Table 2: rel. cost EA/DPhyp = 0.65 for Q3 — meaningful but not
+  // dramatic. Accept anything clearly below 1.
+  EXPECT_LT(ea, base);
+  EXPECT_GT(ea, base * 0.05);
+}
+
+TEST(TpchQ5, SmallestGain) {
+  Query q = MakeTpchQ5();
+  OptimizeResult base = Optimize(q, Opts(Algorithm::kDphyp));
+  OptimizeResult ea = Optimize(q, Opts(Algorithm::kEaPrune));
+  ASSERT_NE(base.plan, nullptr);
+  ASSERT_NE(ea.plan, nullptr);
+  // Table 2: 0.9 — close to no gain.
+  EXPECT_LE(ea.plan->cost, base.plan->cost * (1 + 1e-9));
+  EXPECT_GT(ea.plan->cost, base.plan->cost * 0.3);
+}
+
+TEST(TpchQ10, GainPresent) {
+  Query q = MakeTpchQ10();
+  double base = Optimize(q, Opts(Algorithm::kDphyp)).plan->cost;
+  double ea = Optimize(q, Opts(Algorithm::kEaPrune)).plan->cost;
+  EXPECT_LT(ea, base);
+}
+
+TEST(TpchAll, OptimizationIsFastEnough) {
+  // Table 2 reports sub-3ms optimization times; allow generous slack for
+  // CI machines but catch pathological blowups.
+  std::vector<Query> queries;
+  queries.push_back(MakeTpchEx());
+  queries.push_back(MakeTpchQ3());
+  queries.push_back(MakeTpchQ5());
+  queries.push_back(MakeTpchQ10());
+  for (const Query& q : queries) {
+    OptimizeResult r = Optimize(q, Opts(Algorithm::kEaPrune));
+    EXPECT_LT(r.stats.optimize_ms, 500.0);
+  }
+}
+
+TEST(TpchAll, EaTimeExceedsBaselineTime) {
+  // Rel. Time EA/DPhyp > 1 in Table 2 (EA explores more).
+  Query q = MakeTpchQ5();
+  OptimizeResult ea = Optimize(q, Opts(Algorithm::kEaPrune));
+  OptimizeResult base = Optimize(q, Opts(Algorithm::kDphyp));
+  EXPECT_GE(ea.stats.plans_built, base.stats.plans_built);
+}
+
+}  // namespace
+}  // namespace eadp

@@ -1,0 +1,114 @@
+// Value semantics, bag comparison, and string helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "exec/table.h"
+
+namespace eadp {
+namespace {
+
+TEST(Value, NullSemantics) {
+  Value n = Value::Null();
+  Value i = Value::Int(3);
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(i.is_null());
+  // Predicate equality: NULL never matches, not even NULL.
+  EXPECT_FALSE(Value::SqlEquals(n, n));
+  EXPECT_FALSE(Value::SqlEquals(n, i));
+  EXPECT_TRUE(Value::SqlEquals(i, Value::Int(3)));
+  // Grouping equality: NULL == NULL.
+  EXPECT_TRUE(Value::GroupEquals(n, n));
+  EXPECT_FALSE(Value::GroupEquals(n, i));
+}
+
+TEST(Value, IntDoubleComparability) {
+  EXPECT_TRUE(Value::SqlEquals(Value::Int(3), Value::Double(3.0)));
+  EXPECT_TRUE(Value::GroupEquals(Value::Int(3), Value::Double(3.0)));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+}
+
+TEST(Value, TotalOrderNullsFirst) {
+  EXPECT_TRUE(Value::Less(Value::Null(), Value::Int(-100)));
+  EXPECT_FALSE(Value::Less(Value::Int(-100), Value::Null()));
+  EXPECT_TRUE(Value::Less(Value::Int(1), Value::Int(2)));
+  EXPECT_FALSE(Value::Less(Value::Null(), Value::Null()));
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "-");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(1.5).ToString(), "1.5");
+}
+
+TEST(Table, BagEqualsIgnoresRowAndColumnOrder) {
+  Table a({"x", "y"});
+  a.AddRow({Value::Int(1), Value::Int(2)});
+  a.AddRow({Value::Int(3), Value::Int(4)});
+  Table b({"y", "x"});
+  b.AddRow({Value::Int(4), Value::Int(3)});
+  b.AddRow({Value::Int(2), Value::Int(1)});
+  EXPECT_TRUE(Table::BagEquals(a, b));
+}
+
+TEST(Table, BagEqualsRespectsMultiplicity) {
+  Table a({"x"});
+  a.AddRow({Value::Int(1)});
+  a.AddRow({Value::Int(1)});
+  Table b({"x"});
+  b.AddRow({Value::Int(1)});
+  EXPECT_FALSE(Table::BagEquals(a, b));
+  b.AddRow({Value::Int(1)});
+  EXPECT_TRUE(Table::BagEquals(a, b));
+}
+
+TEST(Table, BagEqualsDetectsValueDifference) {
+  Table a({"x"});
+  a.AddRow({Value::Int(1)});
+  Table b({"x"});
+  b.AddRow({Value::Int(2)});
+  EXPECT_FALSE(Table::BagEquals(a, b));
+}
+
+TEST(Table, BagEqualsToleratesFloatNoise) {
+  Table a({"x"});
+  a.AddRow({Value::Double(1.0)});
+  Table b({"x"});
+  b.AddRow({Value::Double(1.0 + 1e-12)});
+  EXPECT_TRUE(Table::BagEquals(a, b));
+}
+
+TEST(Table, BagEqualsMismatchedSchemas) {
+  Table a({"x"});
+  Table b({"y"});
+  EXPECT_FALSE(Table::BagEquals(a, b));
+}
+
+TEST(Table, ColumnLookup) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+  EXPECT_EQ(t.RequireColumn("a"), 0);
+}
+
+TEST(Table, ToStringTruncates) {
+  Table t({"x"});
+  for (int i = 0; i < 100; ++i) t.AddRow({Value::Int(i)});
+  std::string s = t.ToString(5);
+  EXPECT_NE(s.find("100 rows total"), std::string::npos);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+}  // namespace
+}  // namespace eadp
