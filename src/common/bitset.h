@@ -15,6 +15,13 @@
 #include <cstdint>
 #include <string>
 
+// The whole library leans on C++20 <bit> (std::popcount, std::countr_zero).
+// Guard explicitly: under an older -std= the errors otherwise surface as
+// dozens of confusing "not a member of std" failures across every TU.
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#error "eadp requires C++20 bit operations; compile with -std=c++20 or newer"
+#endif
+
 namespace eadp {
 
 /// A set over the universe {0, ..., 63}, stored in one machine word.

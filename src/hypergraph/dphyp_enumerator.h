@@ -5,6 +5,11 @@
 // the paper under reproduction) exactly once, in an order compatible with
 // bottom-up dynamic programming: both components of a pair are emitted
 // after all of their own sub-pairs.
+//
+// Invariants: the node universe is bounded to 64 (one Bitset64 word); for
+// each unordered pair {S1, S2} exactly one orientation is emitted, and
+// dphyp_test cross-checks emission counts against closed forms (chains,
+// cycles, stars, cliques) and a brute-force csg-cmp enumeration.
 
 #ifndef EADP_HYPERGRAPH_DPHYP_ENUMERATOR_H_
 #define EADP_HYPERGRAPH_DPHYP_ENUMERATOR_H_

@@ -19,6 +19,19 @@
 //   * count(*) slots are never partialized separately: Σ Π(all counts)
 //     computes them directly (the home grouping's count serves as their
 //     partial).
+//
+// Provenance: splittability/decomposability are paper Sec. 2.1.2, the ⊗
+// duplicate adjustment is Sec. 2.1.3, and G_i^+ = G_i ∪ J_i is Sec. 3.1.
+//
+// Invariants maintained by Partialize/Merge and checked by the executor:
+//   * every AggSlot's argument attribute lies inside the owning plan's
+//     relation set; slots never migrate between plans, they are merged
+//     when two subplans join;
+//   * each live count partitions a subset of the plan's relations, and
+//     no relation is covered by two live counts;
+//   * a partialized slot's home_count always refers to a live count of
+//     the same plan (BuildGroupingSpec absorbs every previous count into
+//     the fresh one — Σ Π old counts — and rehomes all slots there).
 
 #ifndef EADP_PLANGEN_AGG_STATE_H_
 #define EADP_PLANGEN_AGG_STATE_H_

@@ -4,6 +4,10 @@
 // with predicate/grouping, estimated cardinality and accumulated C_out);
 // ToJson produces a compact JSON document with the same information for
 // downstream tooling.
+//
+// Invariants: both renderings are pure functions of the plan — no plan
+// mutation, and output is deterministic (node identifiers come from a
+// preorder walk, never from pointer values), so goldens can be diffed.
 
 #ifndef EADP_PLANGEN_PLAN_EXPLAIN_H_
 #define EADP_PLANGEN_PLAN_EXPLAIN_H_

@@ -7,6 +7,12 @@
 // covering every generated column of the padded side, and monotone
 // cost/cardinality bookkeeping. Returns human-readable violations instead
 // of aborting, so tests can assert emptiness and print the details.
+//
+// The checks mirror the finalization contract of OpTrees (Fig. 6): every
+// generator output must validate cleanly — plan_validator_test asserts
+// this for all five algorithms and that corrupted plans are rejected. The
+// default-vector check enforces the generalized-outer-join requirement of
+// Eqvs. 7/8 (every generated column of the padded side carries a default).
 
 #ifndef EADP_PLANGEN_PLAN_VALIDATOR_H_
 #define EADP_PLANGEN_PLAN_VALIDATOR_H_

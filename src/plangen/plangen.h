@@ -12,6 +12,18 @@
 //              assessed locally (BuildPlansH1, Fig. 10).
 //   kH2      — heuristic: like H1 but prefers "more eager" plans within a
 //              tolerance factor F (BuildPlansH2, Fig. 12).
+//
+// Complexity (Sec. 4.3): per csg-cmp-pair, kEaAll does work proportional
+// to the product of the kept plan lists — O(2^{2n-1}) tree pairs in the
+// worst case — while kDphyp/kH1/kH2 keep O(1) plans per class and the
+// pruned table of kEaPrune typically stays small (see bench_complexity).
+//
+// Invariants: all generators share one enumeration (conflict detection →
+// hypergraph → DPhyp), so they consider exactly the same plan classes and
+// differ only in the DP-table insertion policy and grouping placement.
+// On every query, Cost(kEaPrune) == Cost(kEaAll), and no heuristic or the
+// baseline beats that optimum, which itself never exceeds the baseline
+// (all three relations pinned by plangen_test).
 
 #ifndef EADP_PLANGEN_PLANGEN_H_
 #define EADP_PLANGEN_PLANGEN_H_
