@@ -1,4 +1,4 @@
-// Ablation (DESIGN.md §5): value of the top-grouping elimination (Eqv. 42).
+// Ablation: value of the top-grouping elimination (Eqv. 42; op_trees.h).
 // With elimination, plans whose pushed groupings make G a key skip the
 // final Γ entirely (the paper's Fig. 11 discussion: cost 9 -> 7).
 
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       without_sum += b.plan->cost;
       ratio_sum += a.plan->cost / b.plan->cost;
       // Elimination fired if the finalized plan has no kFinalGroup node.
-      const PlanNode* below = a.plan->left.get();
+      const PlanNode* below = a.plan->left;
       if (below != nullptr && below->op != PlanOp::kFinalGroup) ++eliminated;
     }
     std::printf("%4d %14.4g %14.4g %12.4f %13.0f%%\n", n,

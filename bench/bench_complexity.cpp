@@ -4,6 +4,10 @@
 // EA-All, while EA-Prune's dominance pruning and the single-plan
 // heuristics keep it polynomial-ish. This bench prints the measured
 // factors.
+//
+// Machine-readable records (EADP_BENCH_JSON): per-size median optimize
+// times per algorithm, plus the deterministic plans-built-per-ccp counters
+// (those catch algorithmic regressions that wall-clock noise would hide).
 
 #include <cstdio>
 
@@ -15,6 +19,7 @@ int main(int argc, char** argv) {
   int queries = BenchQueries(argc, argv, 20);
   const int max_rels_all = 8;
   const int max_rels = 11;
+  BenchJsonWriter json("complexity");
 
   std::printf("Complexity: plan nodes built per csg-cmp-pair "
               "(%d queries/size)\n\n", queries);
@@ -27,6 +32,8 @@ int main(int argc, char** argv) {
     double built_prune = 0;
     double built_h1 = 0;
     double built_dphyp = 0;
+    std::vector<double> prune_ms;
+    std::vector<double> all_ms;
     for (int i = 0; i < queries; ++i) {
       Query q = BenchQuery(n, static_cast<uint64_t>(n) * 700000 + i);
       OptimizerOptions options;
@@ -34,6 +41,7 @@ int main(int argc, char** argv) {
       OptimizeResult prune = Optimize(q, options);
       ccp += static_cast<double>(prune.stats.ccp_count);
       built_prune += static_cast<double>(prune.stats.plans_built);
+      prune_ms.push_back(prune.stats.optimize_ms);
       options.algorithm = Algorithm::kH1;
       built_h1 += static_cast<double>(Optimize(q, options).stats.plans_built);
       options.algorithm = Algorithm::kDphyp;
@@ -41,13 +49,24 @@ int main(int argc, char** argv) {
           static_cast<double>(Optimize(q, options).stats.plans_built);
       if (n <= max_rels_all) {
         options.algorithm = Algorithm::kEaAll;
-        built_all +=
-            static_cast<double>(Optimize(q, options).stats.plans_built);
+        OptimizeResult all = Optimize(q, options);
+        built_all += static_cast<double>(all.stats.plans_built);
+        all_ms.push_back(all.stats.optimize_ms);
       }
     }
     ccp /= queries;
+    std::string size = "/n=" + std::to_string(n);
+    json.RecordMs("EA-Prune" + size, Median(prune_ms));
+    json.RecordValue("EA-Prune/plans_per_ccp" + size,
+                     built_prune / queries / ccp);
+    json.RecordValue("H1/plans_per_ccp" + size, built_h1 / queries / ccp);
+    json.RecordValue("DPhyp/plans_per_ccp" + size,
+                     built_dphyp / queries / ccp);
     std::printf("%4d %10.1f ", n, ccp);
     if (n <= max_rels_all) {
+      json.RecordMs("EA-All" + size, Median(all_ms));
+      json.RecordValue("EA-All/plans_per_ccp" + size,
+                       built_all / queries / ccp);
       std::printf("%14.1f ", built_all / queries / ccp);
     } else {
       std::printf("%14s ", "-");

@@ -4,6 +4,10 @@
 // Expected shape: EA-All explodes first (paper: >1 s at 7-8 relations),
 // EA-Prune extends the feasible range by ~3 relations, H1 tracks DPhyp
 // within a small constant factor (paper: ~2.6x), DPhyp stays fastest.
+//
+// The printed table reports averages (comparable with the paper's plots);
+// the machine-readable records (EADP_BENCH_JSON, see bench_util.h) report
+// per-size *medians*, which are robust against scheduler noise.
 
 #include <cstdio>
 
@@ -16,6 +20,7 @@ int main(int argc, char** argv) {
   const int max_rels = 15;
   const int max_rels_prune = 11;
   const int max_rels_all = 8;
+  BenchJsonWriter json("fig16_runtime");
 
   std::printf("Figure 16: average optimization runtime [ms] "
               "(%d queries/size)\n", queries);
@@ -23,24 +28,41 @@ int main(int argc, char** argv) {
               "EA-Prune", "EA-All", "H1/DPhyp");
 
   for (int n = 3; n <= max_rels; ++n) {
-    double dphyp_ms = 0;
-    double h1_ms = 0;
-    double prune_ms = 0;
-    double all_ms = 0;
+    std::vector<double> dphyp_ms;
+    std::vector<double> h1_ms;
+    std::vector<double> prune_ms;
+    std::vector<double> all_ms;
     for (int i = 0; i < queries; ++i) {
       Query q = BenchQuery(n, static_cast<uint64_t>(n) * 200000 + i);
-      dphyp_ms += RunAlgorithm(q, Algorithm::kDphyp).ms;
-      h1_ms += RunAlgorithm(q, Algorithm::kH1).ms;
-      if (n <= max_rels_prune) prune_ms += RunAlgorithm(q, Algorithm::kEaPrune).ms;
-      if (n <= max_rels_all) all_ms += RunAlgorithm(q, Algorithm::kEaAll).ms;
+      dphyp_ms.push_back(RunAlgorithm(q, Algorithm::kDphyp).ms);
+      h1_ms.push_back(RunAlgorithm(q, Algorithm::kH1).ms);
+      if (n <= max_rels_prune) {
+        prune_ms.push_back(RunAlgorithm(q, Algorithm::kEaPrune).ms);
+      }
+      if (n <= max_rels_all) {
+        all_ms.push_back(RunAlgorithm(q, Algorithm::kEaAll).ms);
+      }
     }
-    auto avg = [&](double total, bool enabled) {
-      return enabled ? total / queries : -1.0;
+    auto avg = [](const std::vector<double>& v) {
+      if (v.empty()) return -1.0;
+      double total = 0;
+      for (double x : v) total += x;
+      return total / static_cast<double>(v.size());
     };
-    double d = avg(dphyp_ms, true);
-    double h = avg(h1_ms, true);
-    double p = avg(prune_ms, n <= max_rels_prune);
-    double a = avg(all_ms, n <= max_rels_all);
+    auto record = [&](const char* alg, const std::vector<double>& v) {
+      if (!v.empty()) {
+        json.RecordMs(std::string(alg) + "/n=" + std::to_string(n),
+                      Median(v));
+      }
+    };
+    record("DPhyp", dphyp_ms);
+    record("H1", h1_ms);
+    record("EA-Prune", prune_ms);
+    record("EA-All", all_ms);
+    double d = avg(dphyp_ms);
+    double h = avg(h1_ms);
+    double p = avg(prune_ms);
+    double a = avg(all_ms);
     std::printf("%4d %12.4f %12.4f ", n, d, h);
     if (p >= 0) {
       std::printf("%12.4f ", p);

@@ -20,14 +20,11 @@ struct BenchRow {
 };
 
 double MedianMs(const Query& q, Algorithm a) {
-  // Warm up once, then take the best of 5 (stable against CI noise).
+  // Warm up once, then take the median of 9 (stable against CI noise).
   RunAlgorithm(q, a);
-  double best = 1e100;
-  for (int i = 0; i < 5; ++i) {
-    double ms = RunAlgorithm(q, a).ms;
-    if (ms < best) best = ms;
-  }
-  return best;
+  std::vector<double> ms;
+  for (int i = 0; i < 9; ++i) ms.push_back(RunAlgorithm(q, a).ms);
+  return Median(std::move(ms));
 }
 
 }  // namespace
@@ -37,6 +34,7 @@ int main() {
                 {"Q3", MakeTpchQ3()},
                 {"Q5", MakeTpchQ5()},
                 {"Q10", MakeTpchQ10()}};
+  BenchJsonWriter json("table2_tpch");
 
   std::printf("Table 2: optimization time and plan cost, TPC-H queries\n\n");
   std::printf("%-22s", "");
@@ -57,6 +55,11 @@ int main() {
     h1_ms[i] = MedianMs(q, Algorithm::kH1);
     h2_ms[i] = MedianMs(q, Algorithm::kH2);
     dp_ms[i] = MedianMs(q, Algorithm::kDphyp);
+    std::string name = rows[i].name;
+    json.RecordMs("EA-Prune/" + name, ea_ms[i]);
+    json.RecordMs("H1/" + name, h1_ms[i]);
+    json.RecordMs("H2/" + name, h2_ms[i]);
+    json.RecordMs("DPhyp/" + name, dp_ms[i]);
     ea_cost[i] = RunAlgorithm(q, Algorithm::kEaPrune).cost;
     h1_cost[i] = RunAlgorithm(q, Algorithm::kH1).cost;
     h2_cost[i] = RunAlgorithm(q, Algorithm::kH2).cost;

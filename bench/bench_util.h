@@ -10,9 +10,11 @@
 #ifndef EADP_BENCH_BENCH_UTIL_H_
 #define EADP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "plangen/plangen.h"
 #include "queries/query_generator.h"
@@ -57,6 +59,51 @@ inline Query BenchQuery(int num_relations, uint64_t seed) {
   gen.num_relations = num_relations;
   return GenerateRandomQuery(gen, seed);
 }
+
+/// Median of a sample set (0 when empty). Used for the machine-readable
+/// perf records: medians are robust against scheduler noise, unlike the
+/// means the human-readable tables print.
+inline double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t m = v.size() / 2;
+  return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+}
+
+/// Machine-readable perf records: when EADP_BENCH_JSON names a file, each
+/// Record*() call appends one JSON object per line (JSONL). scripts/bench.sh
+/// sets the variable and assembles the lines into BENCH_results.json so the
+/// perf trajectory is tracked across PRs. No-op when the variable is unset,
+/// so interactive bench runs are unaffected.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const char* suite)
+      : suite_(suite), path_(std::getenv("EADP_BENCH_JSON")) {}
+
+  /// Records a wall-clock measurement (median over the suite's samples).
+  void RecordMs(const std::string& case_name, double median_ms) {
+    Append(case_name, "median_ms", median_ms);
+  }
+
+  /// Records a deterministic counter (e.g. plan nodes built per ccp) that
+  /// tracks algorithmic — rather than wall-clock — regressions.
+  void RecordValue(const std::string& case_name, double value) {
+    Append(case_name, "value", value);
+  }
+
+ private:
+  void Append(const std::string& case_name, const char* key, double v) {
+    if (path_ == nullptr) return;
+    FILE* f = std::fopen(path_, "a");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"suite\":\"%s\",\"case\":\"%s\",\"%s\":%.6g}\n",
+                 suite_, case_name.c_str(), key, v);
+    std::fclose(f);
+  }
+
+  const char* suite_;
+  const char* path_;
+};
 
 }  // namespace eadp
 

@@ -1,0 +1,103 @@
+#!/usr/bin/env sh
+# Perf-trajectory tracking: runs the three perf-relevant benches
+# (bench_fig16_runtime, bench_complexity, bench_table2_tpch) with JSON
+# recording enabled and folds the results into BENCH_results.json at the
+# repo root.
+#
+# Usage: scripts/bench.sh [--baseline] [--label TEXT] [build-dir]
+#
+#   --baseline   write the run into the "baseline" section (done once,
+#                before a perf-relevant change); the default writes the
+#                "current" section, preserving the recorded baseline.
+#   --label      free-text description stored with the run.
+#
+# Tunables: EADP_BENCH_QUERIES (queries per size, default 10).
+# Records are medians — see bench_util.h BenchJsonWriter.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SECTION=current
+LABEL=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --baseline) SECTION=baseline; shift ;;
+    --label) LABEL="$2"; shift 2 ;;
+    *) break ;;
+  esac
+done
+BUILD_DIR="${1:-build}"
+QUERIES="${EADP_BENCH_QUERIES:-10}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target bench_fig16_runtime bench_complexity bench_table2_tpch >/dev/null
+
+JSONL="$(mktemp)"
+trap 'rm -f "$JSONL"' EXIT
+
+echo "== bench_fig16_runtime ($QUERIES queries/size) =="
+EADP_BENCH_JSON="$JSONL" EADP_BENCH_QUERIES="$QUERIES" \
+  "$BUILD_DIR/bench/bench_fig16_runtime"
+echo
+echo "== bench_complexity ($QUERIES queries/size) =="
+EADP_BENCH_JSON="$JSONL" EADP_BENCH_QUERIES="$QUERIES" \
+  "$BUILD_DIR/bench/bench_complexity"
+echo
+echo "== bench_table2_tpch =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_table2_tpch"
+
+# Fold the JSONL records into BENCH_results.json ({"baseline": run,
+# "current": run}) and print a baseline-vs-current comparison when both
+# sections are present.
+SECTION="$SECTION" LABEL="$LABEL" QUERIES="$QUERIES" JSONL="$JSONL" \
+python3 - <<'EOF'
+import json, os, datetime
+
+out_path = "BENCH_results.json"
+doc = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+
+results = []
+with open(os.environ["JSONL"]) as f:
+    for line in f:
+        line = line.strip()
+        if line:
+            results.append(json.loads(line))
+
+doc[os.environ["SECTION"]] = {
+    "label": os.environ["LABEL"] or os.environ["SECTION"],
+    "date": datetime.date.today().isoformat(),
+    "queries_per_size": int(os.environ["QUERIES"]),
+    "results": results,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote {out_path} [{os.environ['SECTION']}] ({len(results)} records)")
+
+if "baseline" in doc and "current" in doc:
+    base = {(r["suite"], r["case"]): r for r in doc["baseline"]["results"]}
+    cur = {(r["suite"], r["case"]): r for r in doc["current"]["results"]}
+    print("\nbaseline -> current (median_ms):")
+    ratios = []
+    for key in sorted(base.keys() & cur.keys()):
+        b, c = base[key], cur[key]
+        if "median_ms" not in b or "median_ms" not in c:
+            continue
+        bm, cm = b["median_ms"], c["median_ms"]
+        if bm <= 0:
+            continue
+        ratios.append(cm / bm)
+        print(f"  {key[0]}/{key[1]}: {bm:.4f} -> {cm:.4f}  ({cm / bm:.2f}x)")
+    if ratios:
+        gmean = 1.0
+        for r in ratios:
+            gmean *= r
+        gmean **= 1.0 / len(ratios)
+        print(f"\ngeometric-mean time ratio current/baseline: {gmean:.3f} "
+              f"({len(ratios)} cases; < 1.0 is faster)")
+EOF

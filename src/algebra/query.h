@@ -94,7 +94,7 @@ class Query {
 
   /// True iff some pending groupjoin's right side intersects `rels`: the
   /// groupjoin's own aggregation must see raw (unaggregated) rows, so
-  /// grouping `rels` early is invalid (see DESIGN.md).
+  /// grouping `rels` early is invalid (see DESIGN.md §2).
   bool PendingGroupJoinRightIntersects(RelSet rels) const;
 
   /// Human-readable multi-line dump.

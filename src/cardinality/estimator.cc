@@ -64,7 +64,7 @@ double CardinalityEstimator::JoinCardinality(OpKind kind, double left_card,
 }
 
 double CardinalityEstimator::KeyImpliedBound(
-    const std::vector<AttrSet>& keys) const {
+    std::span<const AttrSet> keys) const {
   double bound = std::numeric_limits<double>::infinity();
   for (AttrSet key : keys) {
     double combinations = 1;

@@ -12,6 +12,7 @@
 #define EADP_CARDINALITY_ESTIMATOR_H_
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "algebra/operator_tree.h"
@@ -50,7 +51,7 @@ class CardinalityEstimator {
   /// Upper bound on a duplicate-free result's cardinality implied by its
   /// candidate keys: min over keys of Π d(attr). Keys certify uniqueness,
   /// so no consistent estimate may exceed this bound.
-  double KeyImpliedBound(const std::vector<AttrSet>& keys) const;
+  double KeyImpliedBound(std::span<const AttrSet> keys) const;
 
  private:
   const Catalog* catalog_;

@@ -59,8 +59,7 @@ bool FdSet::Covers(const FdSet& other) const {
   return true;
 }
 
-bool KeysDominate(const std::vector<AttrSet>& a,
-                  const std::vector<AttrSet>& b) {
+bool KeysDominate(std::span<const AttrSet> a, std::span<const AttrSet> b) {
   for (AttrSet kb : b) {
     bool implied = false;
     for (AttrSet ka : a) {

@@ -11,6 +11,7 @@
 #ifndef EADP_CATALOG_FUNCTIONAL_DEPENDENCY_H_
 #define EADP_CATALOG_FUNCTIONAL_DEPENDENCY_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,7 +72,12 @@ class FdSet {
 /// Dominance helper for key sets (each key an AttrSet): `a` dominates `b`
 /// iff every key in `b` is implied by (i.e. a superset of) some key in `a`.
 /// A smaller key is stronger: k1 ⊆ k2 means k1 implies k2.
-bool KeysDominate(const std::vector<AttrSet>& a, const std::vector<AttrSet>& b);
+bool KeysDominate(std::span<const AttrSet> a, std::span<const AttrSet> b);
+inline bool KeysDominate(const std::vector<AttrSet>& a,
+                         const std::vector<AttrSet>& b) {
+  return KeysDominate(std::span<const AttrSet>(a),
+                      std::span<const AttrSet>(b));
+}
 
 /// Inserts `key` into `keys` keeping only minimal keys: drops the insert if a
 /// subset is already present, and removes supersets of `key`.

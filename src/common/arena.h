@@ -1,0 +1,96 @@
+// Bump-pointer arena allocation.
+//
+// The plan generators allocate hundreds of thousands of small, immutable
+// objects per Optimize() call (plan nodes, interned property payloads) and
+// free them all at once when the optimization's result is dropped. A bump
+// allocator turns each allocation into a pointer increment, keeps related
+// objects dense in memory, and replaces per-object ownership (shared_ptr
+// refcount traffic) with a single lifetime: the arena's.
+//
+// Objects with non-trivial destructors are supported — New() registers a
+// cleanup that runs on Reset()/destruction — but the hot path should stick
+// to trivially-destructible types, which cost nothing beyond their bytes.
+// See docs/DESIGN.md §6 for the plan-memory ownership rules built on top.
+
+#ifndef EADP_COMMON_ARENA_H_
+#define EADP_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace eadp {
+
+class Arena {
+ public:
+  /// Eagerly reserves (and touches) the first block: optimizer arenas are
+  /// constructed off the hot path, so the initial system allocation and
+  /// its page faults happen before the first timed allocation.
+  Arena();
+  ~Arena() { RunCleanups(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage, aligned to `align` (a power of two, at most
+  /// alignof(std::max_align_t)). Never returns null.
+  void* AllocateBytes(size_t size, size_t align);
+
+  /// Constructs a T in the arena. Non-trivially-destructible types get a
+  /// cleanup entry so their destructor runs at Reset()/arena destruction;
+  /// trivially-destructible types cost only their bytes.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = AllocateBytes(sizeof(T), alignof(T));
+    T* obj = new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      cleanups_.push_back({[](void* p) { static_cast<T*>(p)->~T(); }, obj});
+    }
+    return obj;
+  }
+
+  /// Destroys every object and recycles the largest block, so a reused
+  /// arena reaches steady state without further system allocations.
+  void Reset();
+
+  /// Payload bytes handed out since construction/Reset.
+  size_t bytes_used() const { return bytes_used_; }
+  /// Total block capacity currently held.
+  size_t bytes_reserved() const {
+    size_t n = 0;
+    for (const Block& b : blocks_) n += b.size;
+    return n;
+  }
+  size_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+  };
+  struct Cleanup {
+    void (*destroy)(void*);
+    void* object;
+  };
+
+  void RunCleanups();
+  void AddBlock(size_t min_size);
+
+  static constexpr size_t kMinBlockSize = 1u << 14;   // 16 KiB
+  static constexpr size_t kMaxBlockSize = 1u << 20;   // 1 MiB
+
+  std::vector<Block> blocks_;
+  std::vector<Cleanup> cleanups_;
+  char* ptr_ = nullptr;   ///< bump pointer into the active (last) block
+  char* end_ = nullptr;   ///< end of the active block
+  size_t next_block_size_ = kMinBlockSize;
+  size_t bytes_used_ = 0;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_COMMON_ARENA_H_

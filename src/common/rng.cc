@@ -4,19 +4,15 @@
 
 namespace eadp {
 
-namespace {
-uint64_t SplitMix64(uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-}  // namespace
-
 Rng::Rng(uint64_t seed) {
+  // splitmix64 sequence over the seed: Mix64 already adds the golden-ratio
+  // increment, so stepping the state and mixing it yields the classic
+  // SplitMix64 stream bit for bit.
   uint64_t x = seed;
-  for (auto& s : s_) s = SplitMix64(x);
+  for (auto& s : s_) {
+    s = Mix64(x);
+    x += 0x9e3779b97f4a7c15ULL;
+  }
   // Avoid the all-zero state (xoshiro's single fixed point).
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }

@@ -78,8 +78,8 @@ void Record(const PlanNode& node, const Query& query, const Table& result,
   } else if (node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup) {
     stat.label +=
         " {" + query.catalog().AttrSetToString(node.group_by) + "}";
-  } else if (node.IsBinary() && !node.predicate.empty()) {
-    stat.label += " [" + node.predicate.ToString(query.catalog()) + "]";
+  } else if (node.IsBinary() && !node.predicate().empty()) {
+    stat.label += " [" + node.predicate().ToString(query.catalog()) + "]";
   }
   stat.estimated = node.cardinality;
   stat.actual = result.NumRows();
@@ -99,14 +99,14 @@ Table Execute(const PlanNode& node, const Query& query, const Database& db,
     case PlanOp::kFinalGroup: {
       Table in = Execute(*node.left, query, db, stats);
       Table out = GroupBy(in, GroupColumnNames(node.group_by, catalog),
-                          node.group_aggs);
+                          node.group_aggs());
       Record(node, query, out, stats);
       return out;
     }
     case PlanOp::kFinalMap: {
       Table in = Execute(*node.left, query, db, stats);
-      Table mapped = node.final_map.empty() ? in : Map(in, node.final_map);
-      Table out = Project(mapped, node.output_columns);
+      Table mapped = node.final_map().empty() ? in : Map(in, node.final_map());
+      Table out = Project(mapped, node.output_columns());
       Record(node, query, out, stats);
       return out;
     }
@@ -116,7 +116,7 @@ Table Execute(const PlanNode& node, const Query& query, const Database& db,
 
   Table left = Execute(*node.left, query, db, stats);
   Table right = Execute(*node.right, query, db, stats);
-  ExecPredicate pred = BindPredicate(node.predicate, catalog, left, right);
+  ExecPredicate pred = BindPredicate(node.predicate(), catalog, left, right);
   Table out;
   switch (node.op) {
     case PlanOp::kJoin:
@@ -130,18 +130,18 @@ Table Execute(const PlanNode& node, const Query& query, const Database& db,
       break;
     case PlanOp::kLeftOuter:
       out = LeftOuterJoin(left, right, pred,
-                          BindDefaults(node.right_defaults));
+                          BindDefaults(node.right_defaults()));
       break;
     case PlanOp::kFullOuter:
-      out = FullOuterJoin(left, right, pred, BindDefaults(node.left_defaults),
-                          BindDefaults(node.right_defaults));
+      out = FullOuterJoin(left, right, pred, BindDefaults(node.left_defaults()),
+                          BindDefaults(node.right_defaults()));
       break;
     case PlanOp::kGroupJoin:
       out = GroupJoin(left, right, pred,
-                      BindGroupjoinAggs(node.groupjoin_aggs, catalog,
-                                        node.op_indices.empty()
+                      BindGroupjoinAggs(node.groupjoin_aggs(), catalog,
+                                        node.op_indices().empty()
                                             ? 0
-                                            : node.op_indices[0]));
+                                            : node.op_indices()[0]));
       break;
     default:
       assert(false && "unhandled plan operator");

@@ -214,7 +214,7 @@ std::vector<MapExpr> BuildFinalMap(const Query& query,
                           : all_counts;
 
     // A single result row represents Π counts original tuples that all
-    // share this row's raw attribute values (see DESIGN.md), so:
+    // share this row's raw attribute values (see DESIGN.md §2), so:
     if (IsDuplicateAgnostic(f)) {
       if (IsCountLike(f.kind)) {
         // count(distinct a) of identical copies: 0 or 1.

@@ -18,64 +18,74 @@ bool Dominates(const PlanNode& a, const PlanNode& b, bool use_cardinality,
   if (use_cardinality && a.raw_cardinality > b.raw_cardinality) return false;
   if (use_keys) {
     if (!a.duplicate_free && b.duplicate_free) return false;
-    if (!KeysDominate(a.keys, b.keys)) return false;
+    // Interned key sets: same pointer means equal contents, so only
+    // distinct pointers pay for the pairwise subset comparison.
+    if (a.keys_ != b.keys_ && !KeysDominate(a.keys(), b.keys())) {
+      return false;
+    }
   }
-  if (use_full_fds && !FdsDominate(a.fds, b.fds)) return false;
+  if (use_full_fds && !FdsDominate(a.fds(), b.fds())) return false;
   return true;
 }
 
 const std::vector<PlanPtr>& DpTable::Plans(RelSet rels) const {
-  auto it = table_.find(rels.bits());
+  auto it = table_.find(rels);
   return it == table_.end() ? kEmpty : it->second;
+}
+
+std::vector<PlanPtr>& DpTable::ClassOf(RelSet rels) {
+  auto [it, inserted] = table_.try_emplace(rels);
+  if (inserted) it->second.reserve(4);
+  return it->second;
 }
 
 PlanPtr DpTable::Best(RelSet rels) const {
   const std::vector<PlanPtr>& plans = Plans(rels);
-  PlanPtr best;
-  for (const PlanPtr& p : plans) {
+  PlanPtr best = nullptr;
+  for (PlanPtr p : plans) {
     if (!best || p->cost < best->cost) best = p;
   }
   return best;
 }
 
 bool DpTable::InsertIfCheaper(RelSet rels, PlanPtr plan) {
-  std::vector<PlanPtr>& list = table_[rels.bits()];
+  std::vector<PlanPtr>& list = ClassOf(rels);
   if (list.empty()) {
-    list.push_back(std::move(plan));
+    list.push_back(plan);
     return true;
   }
   if (plan->cost < list[0]->cost) {
-    list[0] = std::move(plan);
+    list[0] = plan;
     return true;
   }
   return false;
 }
 
 void DpTable::Append(RelSet rels, PlanPtr plan) {
-  table_[rels.bits()].push_back(std::move(plan));
+  ClassOf(rels).push_back(plan);
 }
 
 bool DpTable::InsertPruned(RelSet rels, PlanPtr plan) {
-  std::vector<PlanPtr>& list = table_[rels.bits()];
-  for (const PlanPtr& old : list) {
+  std::vector<PlanPtr>& list = ClassOf(rels);
+  for (PlanPtr old : list) {
     if (Dominates(*old, *plan, use_cardinality_, use_keys_, use_full_fds_)) {
       return false;
     }
   }
   list.erase(std::remove_if(list.begin(), list.end(),
-                            [&](const PlanPtr& old) {
+                            [&](PlanPtr old) {
                               return Dominates(*plan, *old, use_cardinality_,
                                                use_keys_, use_full_fds_);
                             }),
              list.end());
-  list.push_back(std::move(plan));
+  list.push_back(plan);
   return true;
 }
 
 void DpTable::ReplaceSingle(RelSet rels, PlanPtr plan) {
-  std::vector<PlanPtr>& list = table_[rels.bits()];
+  std::vector<PlanPtr>& list = ClassOf(rels);
   list.clear();
-  list.push_back(std::move(plan));
+  list.push_back(plan);
 }
 
 size_t DpTable::TotalPlans() const {

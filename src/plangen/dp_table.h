@@ -6,6 +6,14 @@
 // discarded if some T1 has Cost(T1) <= Cost(T2), |T1| <= |T2| and
 // FD+(T1) ⊇ FD+(T2) — the FD condition implemented, as the paper suggests,
 // by comparing candidate key sets (plus duplicate-freeness).
+//
+// Storage contract: the table keys directly on RelSet (mixed, not identity-
+// hashed — consecutive subset patterns cluster badly otherwise) and the
+// per-class vectors are *reference-stable across insertions into other
+// classes*: std::unordered_map never invalidates references to values on
+// rehash, so generators may hold `const std::vector<PlanPtr>&` to the
+// source classes of a csg-cmp-pair while inserting the produced trees into
+// the (strictly larger) target class. dp_table_test pins this contract.
 
 #ifndef EADP_PLANGEN_DP_TABLE_H_
 #define EADP_PLANGEN_DP_TABLE_H_
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/rng.h"
 #include "plangen/plan.h"
 
 namespace eadp {
@@ -40,7 +49,12 @@ class DpTable {
     use_full_fds_ = use_full_fds;
   }
 
-  /// Plans stored for `rels` (empty vector if none).
+  /// Pre-sizes the hash table for `expected_classes` plan classes so the
+  /// enumeration's insertions don't pay for incremental rehashing.
+  void Reserve(size_t expected_classes) { table_.reserve(expected_classes); }
+
+  /// Plans stored for `rels` (empty vector if none). The reference stays
+  /// valid across insertions into other classes (see file comment).
   const std::vector<PlanPtr>& Plans(RelSet rels) const;
 
   /// True if at least one plan is stored for `rels`.
@@ -67,7 +81,21 @@ class DpTable {
   size_t NumClasses() const { return table_.size(); }
 
  private:
-  std::unordered_map<uint64_t, std::vector<PlanPtr>> table_;
+  /// Mixed (not identity) hash: relation sets of one query differ in a
+  /// few low bits, which identity hashing would pile into a handful of
+  /// buckets.
+  struct RelSetHash {
+    size_t operator()(RelSet s) const {
+      return static_cast<size_t>(Mix64(s.bits()));
+    }
+  };
+
+  /// The class list for `rels`, created on demand with pre-reserved
+  /// capacity (the complete generators typically keep a handful of plans
+  /// per class, so the first few appends shouldn't each reallocate).
+  std::vector<PlanPtr>& ClassOf(RelSet rels);
+
+  std::unordered_map<RelSet, std::vector<PlanPtr>, RelSetHash> table_;
   bool use_cardinality_ = true;
   bool use_keys_ = true;
   bool use_full_fds_ = false;

@@ -6,33 +6,92 @@
 // tracked alongside: a grouping result is duplicate-free, base relations
 // are duplicate-free iff they declare a key (SQL remark in Sec. 3.2), and
 // binary operators preserve duplicate-freeness of the surviving sides.
+//
+// KeySet is the fixed-capacity value type for these bounded minimal key
+// sets: it lives on the stack during inference (no heap traffic in the DP
+// hot path) and is interned into the PlanArena when attached to a plan
+// node, so identical key sets share one pointer and dominance checks can
+// compare pointers before contents (see plan.h / docs/DESIGN.md §6).
 
 #ifndef EADP_PLANGEN_KEYS_H_
 #define EADP_PLANGEN_KEYS_H_
 
-#include <vector>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
 
 #include "algebra/predicate.h"
 #include "catalog/catalog.h"
 #include "common/bitset.h"
-#include "plangen/plan.h"
 
 namespace eadp {
 
-/// Result of key inference for one operator application.
-struct KeyProperties {
-  std::vector<AttrSet> keys;
-  bool duplicate_free = false;
-};
+struct PlanNode;
+enum class PlanOp;
 
 /// Upper bound on tracked candidate keys per plan (cross-combinations are
 /// truncated beyond this; fewer keys is always safe, it only makes
 /// NeedsGrouping more conservative).
 inline constexpr size_t kMaxKeysPerPlan = 8;
 
+/// A minimal candidate-key set of at most kMaxKeysPerPlan keys, stored
+/// inline and canonically ordered (sorted by word value): Insert() keeps
+/// both the minimality invariant (no key a superset of another) and the
+/// ordering, so equal key sets have equal representations regardless of
+/// insertion order — which is what lets the arena interner dedup them and
+/// the dominance test compare pointers. (Truncation at capacity can still
+/// make near-equal sets differ; a missed dedup costs a few bytes and a
+/// content comparison, never correctness.)
+class KeySet {
+ public:
+  KeySet() = default;
+  KeySet(std::initializer_list<AttrSet> keys) {
+    for (AttrSet k : keys) Insert(k);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == kMaxKeysPerPlan; }
+  AttrSet operator[](size_t i) const {
+    assert(i < size_);
+    return keys_[i];
+  }
+  const AttrSet* data() const { return keys_.data(); }
+  const AttrSet* begin() const { return keys_.data(); }
+  const AttrSet* end() const { return keys_.data() + size_; }
+
+  /// Minimal-key insert: drops `key` if a subset is already present,
+  /// removes present supersets of `key`. No-op when full.
+  void Insert(AttrSet key);
+
+  /// Content hash (used by the PlanArena interner).
+  uint64_t Hash() const;
+
+  friend bool operator==(const KeySet& a, const KeySet& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.keys_[i] != b.keys_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<AttrSet, kMaxKeysPerPlan> keys_{};
+  uint8_t size_ = 0;
+};
+
+/// Result of key inference for one operator application. Lives on the
+/// stack; the builder interns `keys` when attaching it to a plan node.
+struct KeyProperties {
+  KeySet keys;
+  bool duplicate_free = false;
+};
+
 /// True iff some key in `keys` is a subset of `attrs` (i.e. `attrs` is a
-/// superkey).
-bool HasKeySubset(const std::vector<AttrSet>& keys, AttrSet attrs);
+/// superkey). Accepts any contiguous key range (KeySet, std::vector).
+bool HasKeySubset(std::span<const AttrSet> keys, AttrSet attrs);
 
 /// κ for a binary operator (paper Sec. 2.3). `plan_op` is the plan node
 /// kind; `pred` the combined predicate applied at the node.

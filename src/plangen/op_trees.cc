@@ -9,14 +9,24 @@
 namespace eadp {
 
 PlanBuilder::PlanBuilder(const Query* query, const ConflictDetector* conflicts,
-                         const BuilderOptions& options)
+                         const BuilderOptions& options,
+                         std::shared_ptr<PlanArena> arena)
     : query_(query),
       conflicts_(conflicts),
       options_(options),
-      estimator_(&query->catalog()) {}
+      estimator_(&query->catalog()),
+      arena_(arena ? std::move(arena) : std::make_shared<PlanArena>()) {
+  // Modest pre-sizing keeps the memoization maps from rehashing inside the
+  // (timed) enumeration; construction is off the hot path.
+  crossing_interner_.reserve(64);
+  merge_cache_.reserve(64);
+  defaults_cache_.reserve(16);
+  final_aggs_cache_.reserve(16);
+  final_map_cache_.reserve(16);
+}
 
 PlanPtr PlanBuilder::MakeScan(int rel) {
-  auto node = std::make_shared<PlanNode>();
+  PlanNode* node = NewNode();
   node->op = PlanOp::kScan;
   node->rels = RelSet::Single(rel);
   node->relation = rel;
@@ -25,20 +35,58 @@ PlanPtr PlanBuilder::MakeScan(int rel) {
   node->pregroup_cardinality = node->cardinality;
   node->cost = cost_model_.ScanCost();
   const RelationDef& def = query_->catalog().relation(rel);
-  node->keys = def.keys;
+  KeySet keys;
+  for (AttrSet k : def.keys) keys.Insert(k);
+  node->keys_ = arena_->InternKeys(keys);
   node->duplicate_free = def.duplicate_free;
-  node->agg_state = LeafAggState(*query_, rel);
-  if (options_.track_fds) node->fds = ScanFds(query_->catalog(), rel);
-  ++plans_built_;
+  if (leaf_states_.size() <= static_cast<size_t>(rel)) {
+    leaf_states_.resize(static_cast<size_t>(rel) + 1, nullptr);
+  }
+  const PlanAggState*& leaf = leaf_states_[static_cast<size_t>(rel)];
+  if (leaf == nullptr) {
+    leaf = arena_->arena().New<PlanAggState>(LeafAggState(*query_, rel));
+  }
+  node->agg_state_ = leaf;
+  if (options_.track_fds) {
+    node->fds_ = arena_->arena().New<FdSet>(ScanFds(query_->catalog(), rel));
+  }
   return node;
 }
 
-CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) const {
+const CrossingInfo* PlanBuilder::InternCrossing(uint64_t mask,
+                                                const int* ops,
+                                                size_t count) {
+  auto [it, inserted] = crossing_interner_.try_emplace(mask, nullptr);
+  if (!inserted) return it->second;
+
+  // First time this operator set crosses a cut: build the shared payload.
+  const std::vector<QueryOp>& query_ops = query_->ops();
+  CrossingInfo* info = arena_->arena().New<CrossingInfo>();
+  info->op_indices.assign(ops, ops + count);
+  double selectivity = 1;
+  for (size_t k = 0; k < count; ++k) {
+    const QueryOp& op = query_ops[static_cast<size_t>(ops[k])];
+    selectivity *= op.selectivity;
+    for (const AttrEquality& eq : op.predicate.equalities()) {
+      info->predicate.AddEquality(eq.left_attr, eq.right_attr);
+    }
+  }
+  info->selectivity = selectivity;
+  info->groupjoin_aggs =
+      query_ops[static_cast<size_t>(ops[0])].groupjoin_aggs;
+  it->second = info;
+  return info;
+}
+
+CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) {
   CrossingOps out;
   RelSet s = s1.Union(s2);
   const std::vector<QueryOp>& ops = query_->ops();
+  assert(ops.size() <= 64);
   int primary = -1;
-  std::vector<int> crossing;
+  int crossing[64];
+  size_t count = 0;
+  uint64_t mask = 0;
   for (size_t i = 0; i < ops.size(); ++i) {
     RelSet ses = conflicts_->conflicts(static_cast<int>(i)).ses;
     if (!ses.Intersects(s1) || !ses.Intersects(s2)) continue;
@@ -50,13 +98,14 @@ CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) const {
       if (primary >= 0) return out;  // two non-inner operators on one cut
       primary = static_cast<int>(i);
     }
-    crossing.push_back(static_cast<int>(i));
+    crossing[count++] = static_cast<int>(i);
+    mask |= uint64_t{1} << i;
   }
-  if (crossing.empty()) return out;
+  if (count == 0) return out;
 
   // Primary operator first.
   if (primary >= 0) {
-    for (size_t k = 0; k < crossing.size(); ++k) {
+    for (size_t k = 0; k < count; ++k) {
       if (crossing[k] == primary) {
         std::swap(crossing[0], crossing[k]);
         break;
@@ -65,7 +114,7 @@ CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) const {
     // Mixed non-inner + extra inner predicates on one cut would need the
     // extra predicates folded into the non-inner operator's semantics;
     // conservatively rejected (cannot occur for tree-shaped queries).
-    if (crossing.size() > 1) return out;
+    if (count > 1) return out;
   }
   out.primary_kind = ops[static_cast<size_t>(crossing[0])].kind;
 
@@ -74,7 +123,8 @@ CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) const {
   // assignment. A non-commutative primary in the swapped orientation means
   // the plan is built with left = plan(s2) — the swap flag tells the caller.
   auto applicable_all = [&](RelSet a, RelSet b) {
-    for (int i : crossing) {
+    for (size_t k = 0; k < count; ++k) {
+      int i = crossing[k];
       bool ok = conflicts_->Applicable(i, a, b);
       if (!ok && IsCommutative(ops[static_cast<size_t>(i)].kind)) {
         ok = conflicts_->Applicable(i, b, a);
@@ -90,46 +140,56 @@ CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) const {
   } else {
     return out;
   }
-  out.ops = std::move(crossing);
+  out.info = InternCrossing(mask, crossing, count);
   out.valid = true;
   return out;
 }
 
-PlanPtr PlanBuilder::MakeJoin(const PlanPtr& left, const PlanPtr& right,
-                              const CrossingOps& crossing) {
-  const std::vector<QueryOp>& ops = query_->ops();
-  const QueryOp& primary = ops[static_cast<size_t>(crossing.ops[0])];
+const PlanAggState* PlanBuilder::MergedState(const PlanAggState* left,
+                                             const PlanAggState* right) {
+  auto [it, inserted] = merge_cache_.try_emplace({left, right}, nullptr);
+  if (inserted) {
+    it->second =
+        arena_->arena().New<PlanAggState>(MergeAggStates(*left, *right));
+  }
+  return it->second;
+}
 
-  auto node = std::make_shared<PlanNode>();
+const std::vector<SymbolicDefault>* PlanBuilder::DefaultsFor(
+    const PlanAggState* state) {
+  auto [it, inserted] = defaults_cache_.try_emplace(state, nullptr);
+  if (inserted) {
+    it->second = arena_->arena().New<std::vector<SymbolicDefault>>(
+        OuterJoinDefaults(*query_, *state));
+  }
+  return it->second;
+}
+
+PlanPtr PlanBuilder::MakeJoin(PlanPtr left, PlanPtr right,
+                              const CrossingOps& crossing) {
+  const CrossingInfo& info = *crossing.info;
+
+  PlanNode* node = NewNode();
   node->op = PlanOpFromOpKind(crossing.primary_kind);
   node->rels = left->rels.Union(right->rels);
   node->left = left;
   node->right = right;
-  node->op_indices = crossing.ops;
-  double selectivity = 1;
-  for (int i : crossing.ops) {
-    const QueryOp& op = ops[static_cast<size_t>(i)];
-    selectivity *= op.selectivity;
-    for (const AttrEquality& eq : op.predicate.equalities()) {
-      node->predicate.AddEquality(eq.left_attr, eq.right_attr);
-    }
-  }
-  node->selectivity = selectivity;
-  node->groupjoin_aggs = primary.groupjoin_aggs;
+  node->crossing = crossing.info;
+  double selectivity = info.selectivity;
 
   // Default vectors for the generalized outer joins: whenever a side that
   // can be null-padded carries generated aggregation columns, pad them with
-  // c:1 / F¹({⊥}) instead of NULL (Eqvs. 12/14/15 and DESIGN.md).
+  // c:1 / F¹({⊥}) instead of NULL (Eqvs. 12/14/15 and DESIGN.md §4).
   if (node->op == PlanOp::kLeftOuter || node->op == PlanOp::kFullOuter) {
-    node->right_defaults = OuterJoinDefaults(*query_, right->agg_state);
+    node->right_defaults_ = DefaultsFor(right->agg_state_);
   }
   if (node->op == PlanOp::kFullOuter) {
-    node->left_defaults = OuterJoinDefaults(*query_, left->agg_state);
+    node->left_defaults_ = DefaultsFor(left->agg_state_);
   }
 
   KeyProperties keys = ComputeJoinKeys(node->op, query_->catalog(), *left,
-                                       *right, node->predicate);
-  node->keys = std::move(keys.keys);
+                                       *right, info.predicate);
+  node->keys_ = arena_->InternKeys(keys.keys);
   node->duplicate_free = keys.duplicate_free;
 
   if (node->op == PlanOp::kJoin) {
@@ -146,7 +206,7 @@ PlanPtr PlanBuilder::MakeJoin(const PlanPtr& left, const PlanPtr& right,
       // Distinct join values bound by the grouping-invariant product, so
       // grouped and ungrouped right sides estimate the same existence
       // probability.
-      AttrSet j2 = node->predicate.ReferencedAttrs().Intersect(
+      AttrSet j2 = info.predicate.ReferencedAttrs().Intersect(
           query_->catalog().AttributesOf(right->rels));
       right_match_distinct =
           estimator_.GroupingCardinality(j2, right->pregroup_cardinality);
@@ -156,10 +216,10 @@ PlanPtr PlanBuilder::MakeJoin(const PlanPtr& left, const PlanPtr& right,
         selectivity, right_match_distinct);
   }
   // Keys certify uniqueness: cap the estimate by the key-implied bound so
-  // estimates stay consistent with κ (see DESIGN.md).
+  // estimates stay consistent with κ (see DESIGN.md §3).
   if (node->duplicate_free) {
     node->cardinality =
-        std::min(node->cardinality, estimator_.KeyImpliedBound(node->keys));
+        std::min(node->cardinality, estimator_.KeyImpliedBound(node->keys()));
   }
   // Non-inner operators restart the raw chain from their capped estimate.
   if (node->op != PlanOp::kJoin) node->raw_cardinality = node->cardinality;
@@ -172,20 +232,20 @@ PlanPtr PlanBuilder::MakeJoin(const PlanPtr& left, const PlanPtr& right,
     // Right-side attributes (and any generated columns there) are gone.
     // Queries never aggregate over hidden relations, so the right state
     // must not carry aggregate slots.
-    assert(right->agg_state.slots.empty() &&
+    assert(right->agg_state().slots.empty() &&
            "aggregate over a relation hidden by a semi/anti/group join");
-    node->agg_state = left->agg_state;
+    node->agg_state_ = left->agg_state_;
   } else {
-    node->agg_state = MergeAggStates(left->agg_state, right->agg_state);
+    node->agg_state_ = MergedState(left->agg_state_, right->agg_state_);
   }
   if (options_.track_fds) {
-    node->fds = JoinFds(node->op, left->fds, right->fds, node->predicate);
+    node->fds_ = arena_->arena().New<FdSet>(
+        JoinFds(node->op, left->fds(), right->fds(), info.predicate));
   }
-  ++plans_built_;
   return node;
 }
 
-bool PlanBuilder::CanPushGrouping(const PlanPtr& child, OpKind parent,
+bool PlanBuilder::CanPushGrouping(PlanPtr child, OpKind parent,
                                   bool left_side) const {
   // Fig. 3: semijoin, antijoin and groupjoin admit the push on the left
   // side only; inner/outer joins on both sides (right side of E and both
@@ -198,44 +258,44 @@ bool PlanBuilder::CanPushGrouping(const PlanPtr& child, OpKind parent,
   if (query_->PendingGroupJoinRightIntersects(child->rels)) return false;
   AttrSet g_plus = query_->GroupByPlus(child->rels);
   if (!NeedsGrouping(g_plus, *child)) return false;  // waste (Fig. 6)
-  return CanGroup(*query_, child->agg_state, g_plus);
+  return CanGroup(*query_, child->agg_state(), g_plus);
 }
 
-PlanPtr PlanBuilder::MakeGrouping(const PlanPtr& child) {
-  auto node = std::make_shared<PlanNode>();
+PlanPtr PlanBuilder::MakeGrouping(PlanPtr child) {
+  PlanNode* node = NewNode();
   node->op = PlanOp::kGroup;
   node->rels = child->rels;
   node->left = child;
   node->group_by = query_->GroupByPlus(child->rels);
-  node->agg_state = BuildGroupingSpec(*query_, child->agg_state,
-                                      node->group_by, &names_,
-                                      &node->group_aggs);
+  // Grouping specs embed fresh generated column names, so they are unique
+  // per grouping node — built directly in the arena, not memoized.
+  auto* aggs = arena_->arena().New<std::vector<ExecAggregate>>();
+  node->agg_state_ = arena_->arena().New<PlanAggState>(BuildGroupingSpec(
+      *query_, child->agg_state(), node->group_by, &names_, aggs));
+  node->group_aggs_ = aggs;
   node->cardinality =
       estimator_.GroupingCardinality(node->group_by, child->cardinality);
   KeyProperties keys = ComputeGroupingKeys(*child, node->group_by);
-  node->keys = std::move(keys.keys);
+  node->keys_ = arena_->InternKeys(keys.keys);
   node->duplicate_free = true;
   // Inherited child keys contained in G+ may bound the result below the
   // independence estimate.
   node->cardinality =
-      std::min(node->cardinality, estimator_.KeyImpliedBound(node->keys));
+      std::min(node->cardinality, estimator_.KeyImpliedBound(node->keys()));
   node->raw_cardinality = node->cardinality;  // the chain restarts at a Γ
   node->pregroup_cardinality = child->pregroup_cardinality;
   if (options_.track_fds) {
-    node->fds = GroupingFds(child->fds, node->group_by);
+    node->fds_ = arena_->arena().New<FdSet>(
+        GroupingFds(child->fds(), node->group_by));
   }
   node->cost = cost_model_.GroupingCost(node->cardinality, child->cost);
-  ++plans_built_;
   return node;
 }
 
-void PlanBuilder::OpTrees(const PlanPtr& t1, const PlanPtr& t2,
-                          const CrossingOps& crossing,
+void PlanBuilder::OpTrees(PlanPtr t1, PlanPtr t2, const CrossingOps& crossing,
                           std::vector<PlanPtr>* out) {
   bool top = t1->rels.Union(t2->rels) == query_->AllRelations();
-  auto add = [&](PlanPtr t) {
-    out->push_back(top ? FinalizeTop(t) : std::move(t));
-  };
+  auto add = [&](PlanPtr t) { out->push_back(top ? FinalizeTop(t) : t); };
 
   add(MakeJoin(t1, t2, crossing));
 
@@ -249,40 +309,26 @@ void PlanBuilder::OpTrees(const PlanPtr& t1, const PlanPtr& t2,
   if (push_left && push_right) add(MakeJoin(g1, g2, crossing));
 }
 
-PlanPtr PlanBuilder::FinalizeTop(const PlanPtr& t) {
-  AttrSet g = query_->group_by();
+const std::vector<ExecAggregate>* PlanBuilder::FinalAggsFor(
+    const PlanAggState* state) {
+  auto [it, inserted] = final_aggs_cache_.try_emplace(state, nullptr);
+  if (inserted) {
+    it->second = arena_->arena().New<std::vector<ExecAggregate>>(
+        BuildFinalAggregates(*query_, *state));
+  }
+  return it->second;
+}
+
+const FinalMapInfo* PlanBuilder::FinalMapFor(const PlanAggState* state) {
+  auto [it, inserted] = final_map_cache_.try_emplace(state, nullptr);
+  if (!inserted) return it->second;
+
   const Catalog& catalog = query_->catalog();
-
-  PlanPtr below = t;
-  if (!options_.top_grouping_elimination || NeedsGrouping(g, *t)) {
-    auto group = std::make_shared<PlanNode>();
-    group->op = PlanOp::kFinalGroup;
-    group->rels = t->rels;
-    group->left = t;
-    group->group_by = g;
-    group->group_aggs = BuildFinalAggregates(*query_, t->agg_state);
-    group->cardinality = estimator_.GroupingCardinality(g, t->cardinality);
-    group->raw_cardinality = group->cardinality;
-    group->pregroup_cardinality = t->pregroup_cardinality;
-    group->cost = cost_model_.GroupingCost(group->cardinality, t->cost);
-    KeyProperties keys = ComputeGroupingKeys(*t, g);
-    group->keys = std::move(keys.keys);
-    group->duplicate_free = true;
-    ++plans_built_;
-    below = group;
-  }
-
-  // Final map: on the Eqv. 42 path it computes every aggregate from the
-  // single row of its group; after a final grouping it only reconstitutes
-  // avg slots. Both paths end with a projection to the query's output
-  // schema, so all plans (and the canonical evaluation) are comparable.
-  auto map = std::make_shared<PlanNode>();
-  map->op = PlanOp::kFinalMap;
-  map->rels = below->rels;
-  map->left = below;
-  if (below->op != PlanOp::kFinalGroup) {
-    map->final_map = BuildFinalMap(*query_, below->agg_state);
-  }
+  FinalMapInfo* fm = arena_->arena().New<FinalMapInfo>();
+  // On the Eqv. 42 path (`state` non-null) every aggregate is computed from
+  // the single row of its group; after a final grouping (`state` null) the
+  // map only reconstitutes avg slots.
+  if (state != nullptr) fm->exprs = BuildFinalMap(*query_, *state);
   for (const FinalDivision& div : query_->final_divisions()) {
     MapExpr e;
     e.output = div.output;
@@ -291,22 +337,57 @@ PlanPtr PlanBuilder::FinalizeTop(const PlanPtr& t) {
                 .output;
     e.arg2 = query_->aggregates()[static_cast<size_t>(div.denominator_slot)]
                  .output;
-    map->final_map.push_back(std::move(e));
+    fm->exprs.push_back(std::move(e));
   }
-  for (int a : BitsOf(g)) map->output_columns.push_back(catalog.attribute(a).name);
+  for (int a : BitsOf(query_->group_by())) {
+    fm->output_columns.push_back(catalog.attribute(a).name);
+  }
   for (const AggregateFunction& f : query_->aggregates()) {
-    map->output_columns.push_back(f.output);
+    fm->output_columns.push_back(f.output);
   }
   for (const FinalDivision& div : query_->final_divisions()) {
-    map->output_columns.push_back(div.output);
+    fm->output_columns.push_back(div.output);
   }
+  it->second = fm;
+  return fm;
+}
+
+PlanPtr PlanBuilder::FinalizeTop(PlanPtr t) {
+  AttrSet g = query_->group_by();
+
+  PlanPtr below = t;
+  if (!options_.top_grouping_elimination || NeedsGrouping(g, *t)) {
+    PlanNode* group = NewNode();
+    group->op = PlanOp::kFinalGroup;
+    group->rels = t->rels;
+    group->left = t;
+    group->group_by = g;
+    group->group_aggs_ = FinalAggsFor(t->agg_state_);
+    group->cardinality = estimator_.GroupingCardinality(g, t->cardinality);
+    group->raw_cardinality = group->cardinality;
+    group->pregroup_cardinality = t->pregroup_cardinality;
+    group->cost = cost_model_.GroupingCost(group->cardinality, t->cost);
+    KeyProperties keys = ComputeGroupingKeys(*t, g);
+    group->keys_ = arena_->InternKeys(keys.keys);
+    group->duplicate_free = true;
+    below = group;
+  }
+
+  // Final map: computes aggregates (Eqv. 42 path) or reconstitutes avg
+  // slots, then projects to the query's output schema, so all plans (and
+  // the canonical evaluation) are comparable.
+  PlanNode* map = NewNode();
+  map->op = PlanOp::kFinalMap;
+  map->rels = below->rels;
+  map->left = below;
+  map->final_map_ = FinalMapFor(
+      below->op == PlanOp::kFinalGroup ? nullptr : below->agg_state_);
   map->cardinality = below->cardinality;
   map->raw_cardinality = below->raw_cardinality;
   map->pregroup_cardinality = below->pregroup_cardinality;
   map->cost = cost_model_.MapCost(below->cost);
-  map->keys = below->keys;
+  map->keys_ = below->keys_;
   map->duplicate_free = below->duplicate_free;
-  ++plans_built_;
   return map;
 }
 

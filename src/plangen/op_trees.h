@@ -19,14 +19,26 @@
 // either a top grouping Γ_G is added, or — if G contains a key and the
 // input is duplicate-free — the grouping is replaced by a map + projection
 // (Eqv. 42).
+//
+// Memory behaviour (docs/DESIGN.md §6): every node and payload comes from
+// the builder's PlanArena. The builder memoizes everything derivable from
+// its inputs — crossing-operator payloads per operator list, merged
+// aggregation states per input-state pair, outer-join default vectors and
+// finalization payloads per aggregation state — so the steady-state DP
+// loop (MakeJoin under EA enumeration) performs no heap allocation beyond
+// the arena bump for the node itself.
 
 #ifndef EADP_PLANGEN_OP_TREES_H_
 #define EADP_PLANGEN_OP_TREES_H_
 
+#include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "algebra/query.h"
 #include "cardinality/estimator.h"
+#include "common/rng.h"
 #include "conflict/conflict_detector.h"
 #include "cost/cost_model.h"
 #include "plangen/agg_state.h"
@@ -37,12 +49,14 @@ namespace eadp {
 /// The input operators applied at one csg-cmp-pair. All operators whose SES
 /// spans the (S1, S2) cut are applied together (their predicates conjoin
 /// and selectivities multiply); at most one of them may be non-inner — it
-/// becomes the primary operator and determines the node kind.
+/// becomes the primary operator and determines the node kind. The payload
+/// (`info`) is interned in the builder's arena and shared by every plan
+/// node built for this operator list.
 struct CrossingOps {
   bool valid = false;
   bool swap = false;  ///< apply with arguments (S2, S1) instead of (S1, S2)
-  std::vector<int> ops;  ///< op indexes, primary first
   OpKind primary_kind = OpKind::kJoin;
+  const CrossingInfo* info = nullptr;  ///< op indices, predicate, selectivity
 };
 
 /// Options that alter plan construction (used by ablation benches).
@@ -56,42 +70,76 @@ struct BuilderOptions {
 
 class PlanBuilder {
  public:
+  /// Builds plans into `arena`; creates a private arena when none is given
+  /// (standalone users — tests, examples — need no ceremony). Optimize()
+  /// passes an explicit arena and moves it into OptimizeResult, which is
+  /// what keeps the returned plan alive.
   PlanBuilder(const Query* query, const ConflictDetector* conflicts,
-              const BuilderOptions& options = {});
+              const BuilderOptions& options = {},
+              std::shared_ptr<PlanArena> arena = nullptr);
 
   /// Leaf plan: table scan of relation `rel`.
   PlanPtr MakeScan(int rel);
 
   /// Determines the operators crossing the (s1, s2) cut and whether they
   /// can be applied there (conflict rules, orientation, single non-inner).
-  CrossingOps FindCrossingOps(RelSet s1, RelSet s2) const;
+  CrossingOps FindCrossingOps(RelSet s1, RelSet s2);
 
   /// Builds `left ◦ right` for the crossing operators (orientation must
   /// already match `crossing.swap`).
-  PlanPtr MakeJoin(const PlanPtr& left, const PlanPtr& right,
-                   const CrossingOps& crossing);
+  PlanPtr MakeJoin(PlanPtr left, PlanPtr right, const CrossingOps& crossing);
 
   /// True iff Γ_{G+} may be pushed onto `child` when it becomes the
   /// `left_side` argument of an operator of kind `parent`.
-  bool CanPushGrouping(const PlanPtr& child, OpKind parent,
-                       bool left_side) const;
+  bool CanPushGrouping(PlanPtr child, OpKind parent, bool left_side) const;
 
   /// Γ_{G+}(child). Precondition: CanPushGrouping.
-  PlanPtr MakeGrouping(const PlanPtr& child);
+  PlanPtr MakeGrouping(PlanPtr child);
 
   /// The OpTrees routine of Fig. 6. Appends up to four trees to `out`;
   /// when S1 ∪ S2 covers the query, trees are finalized (top grouping or
   /// Eqv. 42 map).
-  void OpTrees(const PlanPtr& t1, const PlanPtr& t2,
-               const CrossingOps& crossing, std::vector<PlanPtr>* out);
+  void OpTrees(PlanPtr t1, PlanPtr t2, const CrossingOps& crossing,
+               std::vector<PlanPtr>* out);
 
   /// Adds the top grouping / finalization to a plan covering all relations.
-  PlanPtr FinalizeTop(const PlanPtr& t);
+  PlanPtr FinalizeTop(PlanPtr t);
 
   const CardinalityEstimator& estimator() const { return estimator_; }
   uint64_t plans_built() const { return plans_built_; }
+  const std::shared_ptr<PlanArena>& arena() const { return arena_; }
 
  private:
+  PlanNode* NewNode() {
+    ++plans_built_;
+    return arena_->NewNode();
+  }
+
+  /// Interns the crossing payload for `ops` (primary first). `mask` is the
+  /// bitset of op indices — queries carry at most 64 operators, so the set
+  /// itself is the interning key (the primary, and hence the list order,
+  /// is a function of the set: it is the unique non-inner member).
+  const CrossingInfo* InternCrossing(uint64_t mask, const int* ops,
+                                     size_t count);
+  /// Merged aggregation state of a join, memoized per input-state pair.
+  const PlanAggState* MergedState(const PlanAggState* left,
+                                  const PlanAggState* right);
+  /// Outer-join default vector for a padded side, memoized per state.
+  const std::vector<SymbolicDefault>* DefaultsFor(const PlanAggState* state);
+  /// Final-grouping aggregate vector, memoized per state.
+  const std::vector<ExecAggregate>* FinalAggsFor(const PlanAggState* state);
+  /// Final-map payload; `state` is null after a final grouping (divisions
+  /// and output columns only), non-null on the Eqv. 42 path.
+  const FinalMapInfo* FinalMapFor(const PlanAggState* state);
+
+  struct PtrPairHash {
+    size_t operator()(std::pair<const void*, const void*> p) const {
+      uint64_t a = Mix64(reinterpret_cast<uintptr_t>(p.first));
+      return static_cast<size_t>(
+          Mix64(a ^ reinterpret_cast<uintptr_t>(p.second)));
+    }
+  };
+
   const Query* query_;
   const ConflictDetector* conflicts_;
   BuilderOptions options_;
@@ -99,6 +147,21 @@ class PlanBuilder {
   CostModel cost_model_;
   NameGenerator names_;
   uint64_t plans_built_ = 0;
+
+  std::shared_ptr<PlanArena> arena_;
+  /// Op-index bitmask -> interned payload.
+  std::unordered_map<uint64_t, const CrossingInfo*> crossing_interner_;
+  /// Leaf aggregation states, one per relation (index = relation id).
+  std::vector<const PlanAggState*> leaf_states_;
+  std::unordered_map<std::pair<const void*, const void*>,
+                     const PlanAggState*, PtrPairHash>
+      merge_cache_;
+  std::unordered_map<const PlanAggState*, const std::vector<SymbolicDefault>*>
+      defaults_cache_;
+  std::unordered_map<const PlanAggState*, const std::vector<ExecAggregate>*>
+      final_aggs_cache_;
+  std::unordered_map<const PlanAggState*, const FinalMapInfo*>
+      final_map_cache_;
 };
 
 }  // namespace eadp

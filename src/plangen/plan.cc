@@ -48,6 +48,60 @@ PlanOp PlanOpFromOpKind(OpKind kind) {
   return PlanOp::kJoin;
 }
 
+namespace {
+
+// Shared empties behind the accessors: a null payload pointer reads as an
+// empty payload, so consumers never branch on presence.
+const CrossingInfo kNoCrossing;
+const std::vector<SymbolicDefault> kNoDefaults;
+const std::vector<ExecAggregate> kNoAggs;
+const FinalMapInfo kNoFinalMap;
+const KeySet kNoKeys;
+const FdSet kNoFds;
+const PlanAggState kNoAggState;
+
+}  // namespace
+
+const std::vector<int>& PlanNode::op_indices() const {
+  return (crossing ? *crossing : kNoCrossing).op_indices;
+}
+
+const JoinPredicate& PlanNode::predicate() const {
+  return (crossing ? *crossing : kNoCrossing).predicate;
+}
+
+const AggregateVector& PlanNode::groupjoin_aggs() const {
+  return (crossing ? *crossing : kNoCrossing).groupjoin_aggs;
+}
+
+const std::vector<SymbolicDefault>& PlanNode::left_defaults() const {
+  return left_defaults_ ? *left_defaults_ : kNoDefaults;
+}
+
+const std::vector<SymbolicDefault>& PlanNode::right_defaults() const {
+  return right_defaults_ ? *right_defaults_ : kNoDefaults;
+}
+
+const std::vector<ExecAggregate>& PlanNode::group_aggs() const {
+  return group_aggs_ ? *group_aggs_ : kNoAggs;
+}
+
+const std::vector<MapExpr>& PlanNode::final_map() const {
+  return (final_map_ ? *final_map_ : kNoFinalMap).exprs;
+}
+
+const std::vector<std::string>& PlanNode::output_columns() const {
+  return (final_map_ ? *final_map_ : kNoFinalMap).output_columns;
+}
+
+const KeySet& PlanNode::keys() const { return keys_ ? *keys_ : kNoKeys; }
+
+const FdSet& PlanNode::fds() const { return fds_ ? *fds_ : kNoFds; }
+
+const PlanAggState& PlanNode::agg_state() const {
+  return agg_state_ ? *agg_state_ : kNoAggState;
+}
+
 std::string PlanNode::ToString(const Catalog& catalog, int indent) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   std::string s = pad + PlanOpName(op);
@@ -55,8 +109,8 @@ std::string PlanNode::ToString(const Catalog& catalog, int indent) const {
     s += " " + catalog.relation(relation).name;
   } else if (op == PlanOp::kGroup || op == PlanOp::kFinalGroup) {
     s += " by {" + catalog.AttrSetToString(group_by) + "}";
-  } else if (IsBinary() && !predicate.empty()) {
-    s += " [" + predicate.ToString(catalog) + "]";
+  } else if (IsBinary() && !predicate().empty()) {
+    s += " [" + predicate().ToString(catalog) + "]";
   }
   s += StrFormat("  (card=%.6g cost=%.6g)", cardinality, cost);
   s += "\n";
@@ -77,6 +131,16 @@ int PlanNode::PushedGroupingCount() const {
   if (left) n += left->PushedGroupingCount();
   if (right) n += right->PushedGroupingCount();
   return n;
+}
+
+const KeySet* PlanArena::InternKeys(const KeySet& keys) {
+  std::vector<const KeySet*>& bucket = key_interner_[keys.Hash()];
+  for (const KeySet* k : bucket) {
+    if (*k == keys) return k;
+  }
+  const KeySet* owned = arena_.New<KeySet>(keys);
+  bucket.push_back(owned);
+  return owned;
 }
 
 }  // namespace eadp

@@ -1,25 +1,32 @@
 // Physical-ish plan trees produced by the plan generators.
 //
-// A PlanNode is immutable once built and shared between DP-table entries
-// (subplans are referenced via shared_ptr). Every node carries the derived
-// properties the generators need: relation set, estimated cardinality,
-// accumulated C_out cost, candidate keys κ (Sec. 2.3), duplicate-freeness,
-// and the aggregation state (see agg_state.h). Outer join nodes carry the
-// symbolic default vectors of the generalized outer joins (Eqvs. 7/8).
+// Memory model (docs/DESIGN.md §6): every PlanNode and every side payload
+// is allocated from a PlanArena owned by the optimization run; PlanPtr is a
+// plain `const PlanNode*` into that arena. Nodes are immutable once built
+// and freely shared between DP-table entries — ownership is one object (the
+// arena), not per-node refcounts. The node itself is a slim, trivially-
+// destructible value: rarely-populated payloads (crossing-operator info,
+// outer-join symbolic defaults, grouping aggregates, final-map/output
+// columns, FD sets) live behind pointers to arena-interned side structs,
+// and the hot derived properties (relation set, cardinalities, C_out cost,
+// candidate keys κ of Sec. 2.3, duplicate-freeness) are inline or interned
+// (keys) so dominance checks can compare pointers before contents.
 
 #ifndef EADP_PLANGEN_PLAN_H_
 #define EADP_PLANGEN_PLAN_H_
 
-#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/operator_tree.h"
 #include "algebra/predicate.h"
 #include "algebra/query.h"
 #include "catalog/functional_dependency.h"
+#include "common/arena.h"
 #include "common/bitset.h"
 #include "plangen/agg_state.h"
+#include "plangen/keys.h"
 
 namespace eadp {
 
@@ -45,7 +52,26 @@ const char* PlanOpName(PlanOp op);
 PlanOp PlanOpFromOpKind(OpKind kind);
 
 struct PlanNode;
-using PlanPtr = std::shared_ptr<const PlanNode>;
+using PlanPtr = const PlanNode*;
+
+/// Payload of a binary plan node, interned per distinct crossing-operator
+/// list: all of it is a pure function of the applied input operators, so
+/// every plan node built for a cut with the same operators shares one
+/// instance (and MakeJoin does no predicate/selectivity work at all).
+struct CrossingInfo {
+  std::vector<int> op_indices;  ///< query ops applied here (primary first)
+  JoinPredicate predicate;      ///< conjunction over all applied ops
+  double selectivity = 1.0;     ///< product over all applied ops
+  AggregateVector groupjoin_aggs;  ///< primary op kGroupJoin
+};
+
+/// Payload of a kFinalMap node (shared across plans with the same
+/// aggregation state — every finalized plan of a query reuses a handful of
+/// these).
+struct FinalMapInfo {
+  std::vector<MapExpr> exprs;
+  std::vector<std::string> output_columns;
+};
 
 struct PlanNode {
   PlanOp op = PlanOp::kScan;
@@ -54,23 +80,21 @@ struct PlanNode {
   // kScan
   int relation = -1;
 
-  // Binary operators.
-  PlanPtr left;
-  PlanPtr right;
-  std::vector<int> op_indices;  ///< query ops applied here (primary first)
-  JoinPredicate predicate;      ///< conjunction over all applied ops
-  double selectivity = 1.0;
-  AggregateVector groupjoin_aggs;              ///< primary op kGroupJoin
-  std::vector<SymbolicDefault> left_defaults;  ///< kFullOuter
-  std::vector<SymbolicDefault> right_defaults; ///< kLeftOuter/kFullOuter
+  // Binary operators. `crossing` is interned (see CrossingInfo); the
+  // outer-join symbolic default vectors (Eqvs. 7/8) are interned per
+  // padded-side aggregation state.
+  PlanPtr left = nullptr;
+  PlanPtr right = nullptr;
+  const CrossingInfo* crossing = nullptr;
+  const std::vector<SymbolicDefault>* left_defaults_ = nullptr;   ///< kFullOuter
+  const std::vector<SymbolicDefault>* right_defaults_ = nullptr;  ///< kLeftOuter/kFullOuter
 
   // kGroup / kFinalGroup.
   AttrSet group_by;
-  std::vector<ExecAggregate> group_aggs;
+  const std::vector<ExecAggregate>* group_aggs_ = nullptr;
 
   // kFinalMap.
-  std::vector<MapExpr> final_map;
-  std::vector<std::string> output_columns;
+  const FinalMapInfo* final_map_ = nullptr;
 
   // Derived properties.
   double cardinality = 0;
@@ -78,7 +102,7 @@ struct PlanNode {
   /// Key-implied caps (which make estimates consistent with κ) are applied
   /// node-locally on top of this; chaining the *capped* values instead
   /// would make estimates depend on join order and break the optimality of
-  /// dominance pruning (see DESIGN.md).
+  /// dominance pruning (see DESIGN.md §3).
   double raw_cardinality = 0;
   /// Pure independence product over base cardinalities and applied
   /// selectivities, ignoring groupings and preservation semantics. Fully
@@ -86,12 +110,28 @@ struct PlanNode {
   /// distinct join values that drive semijoin/antijoin match probabilities.
   double pregroup_cardinality = 0;
   double cost = 0;
-  std::vector<AttrSet> keys;  ///< minimal candidate keys
+  /// Minimal candidate keys, interned: equal key sets share one pointer
+  /// within an arena, so the dominance test compares pointers first.
+  const KeySet* keys_ = nullptr;
   bool duplicate_free = false;
   /// Functional dependencies (populated only when
   /// BuilderOptions::track_fds is set; see plan_fds.h).
-  FdSet fds;
-  PlanAggState agg_state;
+  const FdSet* fds_ = nullptr;
+  /// Aggregation state (see agg_state.h); shared, never copied per node.
+  const PlanAggState* agg_state_ = nullptr;
+
+  // Accessors that hide the payload indirection (null pointer == empty).
+  const std::vector<int>& op_indices() const;
+  const JoinPredicate& predicate() const;
+  const AggregateVector& groupjoin_aggs() const;
+  const std::vector<SymbolicDefault>& left_defaults() const;
+  const std::vector<SymbolicDefault>& right_defaults() const;
+  const std::vector<ExecAggregate>& group_aggs() const;
+  const std::vector<MapExpr>& final_map() const;
+  const std::vector<std::string>& output_columns() const;
+  const KeySet& keys() const;
+  const FdSet& fds() const;
+  const PlanAggState& agg_state() const;
 
   /// Number of grouping operators that are direct children of this node's
   /// top operator — the paper's Eagerness (Sec. 4.5).
@@ -115,6 +155,45 @@ struct PlanNode {
 
   /// Number of kGroup nodes (pushed groupings) in the plan.
   int PushedGroupingCount() const;
+};
+
+/// Owns every PlanNode and side payload of one optimization run. Optimize()
+/// hands the arena to OptimizeResult, which keeps the returned plan alive;
+/// standalone PlanBuilder users (tests) get one implicitly. Also hosts the
+/// KeySet interner: within one arena, equal key sets resolve to the same
+/// pointer, which the dominance test exploits.
+class PlanArena {
+ public:
+  PlanArena() = default;
+  PlanArena(const PlanArena&) = delete;
+  PlanArena& operator=(const PlanArena&) = delete;
+
+  /// A default-constructed node.
+  PlanNode* NewNode() {
+    ++nodes_;
+    return arena_.New<PlanNode>();
+  }
+  /// A shallow copy of `other` (payload pointers are shared — fine, they
+  /// are immutable).
+  PlanNode* NewNode(const PlanNode& other) {
+    ++nodes_;
+    return arena_.New<PlanNode>(other);
+  }
+
+  /// Returns the unique arena-owned KeySet equal to `keys`.
+  const KeySet* InternKeys(const KeySet& keys);
+
+  /// Raw arena access for side payloads.
+  Arena& arena() { return arena_; }
+
+  size_t nodes_allocated() const { return nodes_; }
+  size_t bytes_used() const { return arena_.bytes_used(); }
+
+ private:
+  Arena arena_;
+  /// Content hash -> interned KeySets with that hash (collision chain).
+  std::unordered_map<uint64_t, std::vector<const KeySet*>> key_interner_;
+  size_t nodes_ = 0;
 };
 
 }  // namespace eadp

@@ -12,8 +12,8 @@ std::string NodeLabel(const PlanNode& node, const Catalog& catalog) {
     label += " " + catalog.relation(node.relation).name;
   } else if (node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup) {
     label += " {" + catalog.AttrSetToString(node.group_by) + "}";
-  } else if (node.IsBinary() && !node.predicate.empty()) {
-    label += " " + node.predicate.ToString(catalog);
+  } else if (node.IsBinary() && !node.predicate().empty()) {
+    label += " " + node.predicate().ToString(catalog);
   }
   return label;
 }
@@ -55,8 +55,8 @@ void EmitJson(const PlanNode& node, const Catalog& catalog,
   if (node.op == PlanOp::kScan) {
     *out += ",\"relation\":\"" + catalog.relation(node.relation).name + "\"";
   }
-  if (node.IsBinary() && !node.predicate.empty()) {
-    *out += ",\"predicate\":\"" + Escape(node.predicate.ToString(catalog)) +
+  if (node.IsBinary() && !node.predicate().empty()) {
+    *out += ",\"predicate\":\"" + Escape(node.predicate().ToString(catalog)) +
             "\"";
   }
   if (node.op == PlanOp::kGroup || node.op == PlanOp::kFinalGroup) {

@@ -37,7 +37,7 @@ class Validator {
   void Fail(const std::string& message) { violations_.push_back(message); }
 
   void CountOps(const PlanNode& node, std::vector<int>* counts) {
-    for (int i : node.op_indices) {
+    for (int i : node.op_indices()) {
       if (i >= 0 && static_cast<size_t>(i) < counts->size()) {
         ++(*counts)[static_cast<size_t>(i)];
       } else {
@@ -89,7 +89,7 @@ class Validator {
           Fail("final map must have exactly one child");
           return;
         }
-        if (node.output_columns.empty()) Fail("final map without outputs");
+        if (node.output_columns().empty()) Fail("final map without outputs");
         Walk(*node.left);
         return;
       default:
@@ -107,10 +107,10 @@ class Validator {
     if (node.left->rels.Intersects(node.right->rels)) {
       Fail("children overlap");
     }
-    if (node.op_indices.empty()) {
+    if (node.op_indices().empty()) {
       Fail("binary operator without input operators");
     }
-    AttrSet refs = node.predicate.ReferencedAttrs();
+    AttrSet refs = node.predicate().ReferencedAttrs();
     AttrSet own = query_.catalog().AttributesOf(node.rels);
     if (!refs.IsSubsetOf(own)) {
       Fail("predicate references attributes outside the children");
@@ -139,10 +139,10 @@ class Validator {
       }
     };
     if (node.op == PlanOp::kLeftOuter || node.op == PlanOp::kFullOuter) {
-      check_defaults(node.right->agg_state, node.right_defaults, "right");
+      check_defaults(node.right->agg_state(), node.right_defaults(), "right");
     }
     if (node.op == PlanOp::kFullOuter) {
-      check_defaults(node.left->agg_state, node.left_defaults, "left");
+      check_defaults(node.left->agg_state(), node.left_defaults(), "left");
     }
     Walk(*node.left);
     Walk(*node.right);

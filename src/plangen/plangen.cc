@@ -1,5 +1,6 @@
 #include "plangen/plangen.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "conflict/conflict_detector.h"
@@ -32,10 +33,16 @@ class Generator {
       : query_(query),
         options_(options),
         conflicts_(query),
-        builder_(&query, &conflicts_, BuilderWithFds(options)) {
+        builder_(&query, &conflicts_, BuilderWithFds(options),
+                 std::make_shared<PlanArena>()) {
     dp_.SetDominanceOptions(!options.prune_without_cardinality,
                             !options.prune_without_keys,
                             options.full_fd_dominance);
+    // Sized for the worst case (every connected subgraph becomes a class),
+    // capped so large queries don't pre-pay for classes the enumeration
+    // may never reach — past the cap the table grows geometrically anyway.
+    int n = query.NumRelations();
+    dp_.Reserve(size_t{1} << std::min(n, 12));
   }
 
   static BuilderOptions BuilderWithFds(const OptimizerOptions& options) {
@@ -75,6 +82,9 @@ class Generator {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
+    // Hand the node storage to the caller; the DP table's raw pointers die
+    // with this Generator.
+    result.arena = builder_.arena();
     return result;
   }
 
@@ -100,28 +110,30 @@ class Generator {
         PlanPtr t1 = dp_.Best(a);
         PlanPtr t2 = dp_.Best(b);
         if (!t1 || !t2) return;
-        std::vector<PlanPtr> trees;
-        builder_.OpTrees(t1, t2, crossing, &trees);
-        for (PlanPtr& t : trees) InsertHeuristic(s, std::move(t), top);
+        trees_.clear();
+        builder_.OpTrees(t1, t2, crossing, &trees_);
+        for (PlanPtr t : trees_) InsertHeuristic(s, t, top);
         break;
       }
       case Algorithm::kEaAll:
       case Algorithm::kEaPrune: {
-        // Copy the lists: inserting into the table may rehash it.
-        std::vector<PlanPtr> plans_a = dp_.Plans(a);
-        std::vector<PlanPtr> plans_b = dp_.Plans(b);
-        for (const PlanPtr& t1 : plans_a) {
-          for (const PlanPtr& t2 : plans_b) {
-            std::vector<PlanPtr> trees;
-            builder_.OpTrees(t1, t2, crossing, &trees);
-            for (PlanPtr& t : trees) {
+        // References stay valid while inserting: the target class `s` is
+        // strictly larger than `a` and `b`, and unordered_map rehashing
+        // never invalidates references to values (pinned by dp_table_test).
+        const std::vector<PlanPtr>& plans_a = dp_.Plans(a);
+        const std::vector<PlanPtr>& plans_b = dp_.Plans(b);
+        for (PlanPtr t1 : plans_a) {
+          for (PlanPtr t2 : plans_b) {
+            trees_.clear();
+            builder_.OpTrees(t1, t2, crossing, &trees_);
+            for (PlanPtr t : trees_) {
               if (top) {
                 // InsertTopLevelPlan: single best complete plan.
-                dp_.InsertIfCheaper(s, std::move(t));
+                dp_.InsertIfCheaper(s, t);
               } else if (options_.algorithm == Algorithm::kEaAll) {
-                dp_.Append(s, std::move(t));
+                dp_.Append(s, t);
               } else {
-                dp_.InsertPruned(s, std::move(t));
+                dp_.InsertPruned(s, t);
               }
             }
           }
@@ -160,6 +172,9 @@ class Generator {
   ConflictDetector conflicts_;
   PlanBuilder builder_;
   DpTable dp_;
+  /// Scratch list reused across csg-cmp-pairs (OpTrees appends into it) so
+  /// the enumeration loop does not allocate per pair.
+  std::vector<PlanPtr> trees_;
 };
 
 }  // namespace

@@ -29,6 +29,7 @@
 #define EADP_PLANGEN_PLANGEN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "algebra/query.h"
@@ -66,8 +67,12 @@ struct OptimizeStats {
 };
 
 struct OptimizeResult {
-  PlanPtr plan;  ///< finalized plan (null if the query is unsatisfiable)
+  PlanPtr plan = nullptr;  ///< finalized plan (null if unsatisfiable)
   OptimizeStats stats;
+  /// Owns every node `plan` points into (the per-optimization arena);
+  /// shared so results stay copyable. Executing or inspecting `plan` is
+  /// valid exactly as long as some copy of this handle lives.
+  std::shared_ptr<PlanArena> arena;
 };
 
 /// Runs the selected plan generator over a (canonicalized) query.

@@ -38,7 +38,7 @@ struct GeneratorOptions {
   /// declarations (an equality can never retain more than one partner per
   /// distinct value of the larger side), which in turn keeps cardinality
   /// estimates consistent across join orders — a prerequisite for the
-  /// optimality of dominance pruning (see DESIGN.md).
+  /// optimality of dominance pruning (see DESIGN.md §5).
   double sel_jitter_min = 0.3;
   double sel_jitter_max = 1.0;
 

@@ -1,0 +1,139 @@
+// DpTable storage contract at scale: Append / InsertPruned / ReplaceSingle
+// interleavings across many classes, and the reference-stability guarantee
+// the generators rely on — a class list reference obtained before hundreds
+// of insertions into *other* classes (forcing rehashes) must stay valid
+// (plangen.cc holds such references across OpTrees/insert loops; run under
+// ASan this test is the rehash-while-iterating regression guard).
+
+#include "plangen/dp_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "plangen/plan.h"
+
+namespace eadp {
+namespace {
+
+class DpTableScaleTest : public ::testing::Test {
+ protected:
+  PlanPtr MakePlan(double cost, double card, bool dup_free = false) {
+    PlanNode* p = arena_.NewNode();
+    p->op = PlanOp::kJoin;
+    p->cost = cost;
+    p->cardinality = card;
+    p->raw_cardinality = card;
+    p->keys_ = arena_.InternKeys(KeySet{});
+    p->duplicate_free = dup_free;
+    return p;
+  }
+
+  PlanArena arena_;
+  DpTable table_;
+};
+
+TEST_F(DpTableScaleTest, ClassReferencesSurviveRehashes) {
+  // Seed two classes and keep references to their lists.
+  RelSet a = RelSet::Single(0);
+  RelSet b = RelSet::Single(1);
+  table_.Append(a, MakePlan(1, 10));
+  table_.Append(b, MakePlan(2, 20));
+  const std::vector<PlanPtr>& list_a = table_.Plans(a);
+  const std::vector<PlanPtr>& list_b = table_.Plans(b);
+  PlanPtr first_a = list_a[0];
+
+  // Insert into thousands of *other* classes — guaranteed to rehash an
+  // unreserved unordered_map many times over.
+  for (uint64_t s = 3; s < 5000; ++s) {
+    table_.Append(RelSet(s), MakePlan(static_cast<double>(s), 1));
+  }
+
+  // The references (and their contents) are still valid.
+  ASSERT_EQ(list_a.size(), 1u);
+  ASSERT_EQ(list_b.size(), 1u);
+  EXPECT_EQ(list_a[0], first_a);
+  EXPECT_DOUBLE_EQ(list_a[0]->cost, 1);
+  EXPECT_DOUBLE_EQ(list_b[0]->cost, 2);
+  EXPECT_GT(table_.NumClasses(), 4000u);
+}
+
+TEST_F(DpTableScaleTest, MimicsGeneratorLoopWhileRehashing) {
+  // The plangen.cc pattern: hold references to the source classes of a
+  // csg-cmp-pair, produce trees from every pair, insert into the target
+  // class — while the table grows (and rehashes) underneath.
+  RelSet a = RelSet::Single(0);
+  RelSet b = RelSet::Single(1);
+  for (int i = 0; i < 8; ++i) {
+    table_.Append(a, MakePlan(10 + i, 100));
+    table_.Append(b, MakePlan(20 + i, 200));
+  }
+  const std::vector<PlanPtr>& plans_a = table_.Plans(a);
+  const std::vector<PlanPtr>& plans_b = table_.Plans(b);
+
+  uint64_t target = 4;  // class id counter for fresh target classes
+  size_t pairs = 0;
+  for (PlanPtr t1 : plans_a) {
+    for (PlanPtr t2 : plans_b) {
+      ++pairs;
+      // Insert several plans into fresh classes per pair: rehash pressure.
+      for (int k = 0; k < 16; ++k) {
+        table_.InsertPruned(RelSet(target++),
+                            MakePlan(t1->cost + t2->cost + k, 50));
+      }
+    }
+  }
+  EXPECT_EQ(pairs, 64u);
+  EXPECT_EQ(plans_a.size(), 8u);
+  EXPECT_EQ(plans_b.size(), 8u);
+}
+
+TEST_F(DpTableScaleTest, InterleavedPoliciesAtScale) {
+  // Exercise all three insertion policies against the same classes, at a
+  // size where bugs in list management (stale erase, double insert) show.
+  const int kClasses = 512;
+  for (int round = 0; round < 4; ++round) {
+    for (int c = 0; c < kClasses; ++c) {
+      RelSet s(static_cast<uint64_t>(c) + 1);
+      double base = c + 10.0 * round;
+      switch ((c + round) % 3) {
+        case 0:
+          table_.Append(s, MakePlan(base, base));
+          break;
+        case 1:
+          table_.InsertPruned(s, MakePlan(base, base));
+          break;
+        default:
+          table_.ReplaceSingle(s, MakePlan(base, base));
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(table_.NumClasses(), static_cast<size_t>(kClasses));
+  EXPECT_GE(table_.TotalPlans(), static_cast<size_t>(kClasses));
+  // Every class still answers queries consistently.
+  for (int c = 0; c < kClasses; ++c) {
+    RelSet s(static_cast<uint64_t>(c) + 1);
+    ASSERT_TRUE(table_.Has(s));
+    EXPECT_NE(table_.Best(s), nullptr);
+  }
+}
+
+TEST_F(DpTableScaleTest, InsertPrunedKeepsParetoFrontierAtScale) {
+  RelSet s = RelSet::FirstN(3);
+  // 1000 plans on a diagonal: only the joint-minimum survives the sweep.
+  for (int i = 0; i < 1000; ++i) {
+    table_.InsertPruned(s, MakePlan(1000 - i, 1000 - i));
+  }
+  ASSERT_EQ(table_.Plans(s).size(), 1u);
+  EXPECT_DOUBLE_EQ(table_.Best(s)->cost, 1);
+  // An incomparable newcomer (cheaper card, higher cost) coexists.
+  table_.InsertPruned(s, MakePlan(500, 0.5));
+  EXPECT_EQ(table_.Plans(s).size(), 2u);
+  // Reserve mid-life must not disturb stored plans.
+  table_.Reserve(1u << 12);
+  EXPECT_EQ(table_.Plans(s).size(), 2u);
+}
+
+}  // namespace
+}  // namespace eadp

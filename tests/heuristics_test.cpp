@@ -10,20 +10,20 @@ namespace eadp {
 namespace {
 
 TEST(Eagerness, CountsGroupingChildren) {
-  auto scan = std::make_shared<PlanNode>();
-  scan->op = PlanOp::kScan;
-  auto group = std::make_shared<PlanNode>();
-  group->op = PlanOp::kGroup;
-  group->left = scan;
+  PlanNode scan;
+  scan.op = PlanOp::kScan;
+  PlanNode group;
+  group.op = PlanOp::kGroup;
+  group.left = &scan;
 
   PlanNode join;
   join.op = PlanOp::kJoin;
-  join.left = scan;
-  join.right = scan;
+  join.left = &scan;
+  join.right = &scan;
   EXPECT_EQ(join.Eagerness(), 0);
-  join.left = group;
+  join.left = &group;
   EXPECT_EQ(join.Eagerness(), 1);
-  join.right = group;
+  join.right = &group;
   EXPECT_EQ(join.Eagerness(), 2);
 }
 

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "plangen/plan.h"
+
 namespace eadp {
 namespace {
 
@@ -17,6 +19,8 @@ struct Fixture {
   Catalog catalog;
   PlanNode left;
   PlanNode right;
+  KeySet left_keys;
+  KeySet right_keys;
 
   // R0: attrs {0 = key-ish, 1}; R1: attrs {2 = key-ish, 3}.
   Fixture() {
@@ -28,8 +32,10 @@ struct Fixture {
     catalog.AddAttribute(r1, "R1.x", 10);
     left.op = PlanOp::kScan;
     left.rels = RelSet::Single(0);
+    left.keys_ = &left_keys;
     right.op = PlanOp::kScan;
     right.rels = RelSet::Single(1);
+    right.keys_ = &right_keys;
   }
 
   JoinPredicate PredKK() {
@@ -46,9 +52,9 @@ struct Fixture {
 
 TEST(Keys, InnerJoinBothSidesKeyed) {
   Fixture f;
-  f.left.keys = {Set({0})};
+  f.left_keys = {Set({0})};
   f.left.duplicate_free = true;
-  f.right.keys = {Set({2})};
+  f.right_keys = {Set({2})};
   f.right.duplicate_free = true;
   KeyProperties k = ComputeJoinKeys(PlanOp::kJoin, f.catalog, f.left, f.right,
                                     f.PredKK());
@@ -60,9 +66,9 @@ TEST(Keys, InnerJoinBothSidesKeyed) {
 
 TEST(Keys, InnerJoinLeftKeyOnly) {
   Fixture f;
-  f.left.keys = {Set({0})};
+  f.left_keys = {Set({0})};
   f.left.duplicate_free = true;
-  f.right.keys = {Set({2})};
+  f.right_keys = {Set({2})};
   f.right.duplicate_free = true;
   // Join on R0.k = R1.x: only the left side's join attr is a key, so each
   // right row matches at most one left row -> right keys survive.
@@ -76,9 +82,9 @@ TEST(Keys, InnerJoinLeftKeyOnly) {
 
 TEST(Keys, InnerJoinNoKeysCombines) {
   Fixture f;
-  f.left.keys = {Set({0})};
+  f.left_keys = {Set({0})};
   f.left.duplicate_free = true;
-  f.right.keys = {Set({2})};
+  f.right_keys = {Set({2})};
   f.right.duplicate_free = true;
   // Join on non-key attrs both sides: pairwise unions.
   KeyProperties k = ComputeJoinKeys(PlanOp::kJoin, f.catalog, f.left, f.right,
@@ -89,9 +95,9 @@ TEST(Keys, InnerJoinNoKeysCombines) {
 
 TEST(Keys, LeftOuterJoinRightKeyPreservesLeftKeys) {
   Fixture f;
-  f.left.keys = {Set({0})};
+  f.left_keys = {Set({0})};
   f.left.duplicate_free = true;
-  f.right.keys = {Set({2})};
+  f.right_keys = {Set({2})};
   f.right.duplicate_free = true;
   KeyProperties k = ComputeJoinKeys(PlanOp::kLeftOuter, f.catalog, f.left,
                                     f.right, f.PredKK());
@@ -102,9 +108,9 @@ TEST(Keys, LeftOuterJoinRightKeyPreservesLeftKeys) {
 
 TEST(Keys, FullOuterAlwaysCombines) {
   Fixture f;
-  f.left.keys = {Set({0})};
+  f.left_keys = {Set({0})};
   f.left.duplicate_free = true;
-  f.right.keys = {Set({2})};
+  f.right_keys = {Set({2})};
   f.right.duplicate_free = true;
   KeyProperties k = ComputeJoinKeys(PlanOp::kFullOuter, f.catalog, f.left,
                                     f.right, f.PredKK());
@@ -115,7 +121,7 @@ TEST(Keys, FullOuterAlwaysCombines) {
 
 TEST(Keys, SemiAntiGroupjoinKeepLeftKeys) {
   Fixture f;
-  f.left.keys = {Set({0})};
+  f.left_keys = {Set({0})};
   f.left.duplicate_free = true;
   for (PlanOp op :
        {PlanOp::kLeftSemi, PlanOp::kLeftAnti, PlanOp::kGroupJoin}) {
@@ -145,7 +151,8 @@ TEST(Keys, GroupingMakesGroupByAKey) {
 
 TEST(Keys, GroupingKeepsContainedChildKeys) {
   PlanNode child;
-  child.keys = {Set({1})};
+  KeySet child_keys = {Set({1})};
+  child.keys_ = &child_keys;
   child.duplicate_free = true;
   KeyProperties k = ComputeGroupingKeys(child, Set({1, 2}));
   // The child key {1} ⊆ G+ survives and subsumes {1,2}.
@@ -155,7 +162,8 @@ TEST(Keys, GroupingKeepsContainedChildKeys) {
 
 TEST(Keys, NeedsGroupingFig7) {
   PlanNode t;
-  t.keys = {Set({0})};
+  KeySet t_keys = {Set({0})};
+  t.keys_ = &t_keys;
   t.duplicate_free = true;
   EXPECT_FALSE(NeedsGrouping(Set({0, 1}), t));  // key within G: no grouping
   EXPECT_TRUE(NeedsGrouping(Set({1}), t));      // no key within G

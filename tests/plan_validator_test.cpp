@@ -65,13 +65,17 @@ TEST(PlanValidator, DetectsDuplicateOperatorApplication) {
   opt.algorithm = Algorithm::kEaPrune;
   OptimizeResult r = Optimize(q, opt);
   ASSERT_NE(r.plan, nullptr);
-  // Corrupt: duplicate the op index list on the top binary node.
-  auto corrupted = std::make_shared<PlanNode>(*r.plan);
+  // Corrupt: duplicate the op index list on the top binary node. Cloned
+  // nodes go into a local arena; the interned crossing payload is cloned
+  // too before mutation (payloads are shared between nodes).
+  PlanArena arena;
   std::function<PlanPtr(const PlanNode&)> corrupt =
       [&](const PlanNode& n) -> PlanPtr {
-    auto copy = std::make_shared<PlanNode>(n);
-    if (copy->IsBinary() && !copy->op_indices.empty()) {
-      copy->op_indices.push_back(copy->op_indices[0]);
+    PlanNode* copy = arena.NewNode(n);
+    if (copy->IsBinary() && !copy->op_indices().empty()) {
+      CrossingInfo* ci = arena.arena().New<CrossingInfo>(*copy->crossing);
+      ci->op_indices.push_back(ci->op_indices[0]);
+      copy->crossing = ci;
       return copy;
     }
     if (copy->left) copy->left = corrupt(*copy->left);
@@ -89,9 +93,10 @@ TEST(PlanValidator, DetectsBrokenCostBookkeeping) {
   opt.algorithm = Algorithm::kEaPrune;
   OptimizeResult r = Optimize(q, opt);
   ASSERT_NE(r.plan, nullptr);
+  PlanArena arena;
   std::function<PlanPtr(const PlanNode&)> corrupt =
       [&](const PlanNode& n) -> PlanPtr {
-    auto copy = std::make_shared<PlanNode>(n);
+    PlanNode* copy = arena.NewNode(n);
     if (copy->IsBinary()) {
       copy->cost = copy->cost * 2 + 100;
       return copy;
@@ -112,12 +117,13 @@ TEST(PlanValidator, DetectsMissingOuterJoinDefaults) {
   OptimizeResult r = Optimize(q, opt);
   ASSERT_NE(r.plan, nullptr);
   ASSERT_TRUE(ValidatePlan(r.plan, q).empty());
+  PlanArena arena;
   std::function<PlanPtr(const PlanNode&)> strip =
       [&](const PlanNode& n) -> PlanPtr {
-    auto copy = std::make_shared<PlanNode>(n);
+    PlanNode* copy = arena.NewNode(n);
     if (copy->op == PlanOp::kFullOuter || copy->op == PlanOp::kLeftOuter) {
-      copy->left_defaults.clear();
-      copy->right_defaults.clear();
+      copy->left_defaults_ = nullptr;
+      copy->right_defaults_ = nullptr;
     }
     if (copy->left) copy->left = strip(*copy->left);
     if (copy->right) copy->right = strip(*copy->right);

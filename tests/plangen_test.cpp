@@ -73,7 +73,7 @@ TEST(PlanGen, PlanCoversAllRelationsAndOps) {
   EXPECT_EQ(r.plan->op, PlanOp::kFinalMap);
   // Count binary nodes: must apply every input operator exactly once.
   std::function<int(const PlanNode&)> count_ops = [&](const PlanNode& n) {
-    int c = n.IsBinary() ? static_cast<int>(n.op_indices.size()) : 0;
+    int c = n.IsBinary() ? static_cast<int>(n.op_indices().size()) : 0;
     if (n.left) c += count_ops(*n.left);
     if (n.right) c += count_ops(*n.right);
     return c;

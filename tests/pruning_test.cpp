@@ -9,15 +9,22 @@
 namespace eadp {
 namespace {
 
-PlanPtr MakePlan(double cost, double card, std::vector<AttrSet> keys,
-                 bool dup_free) {
-  auto p = std::make_shared<PlanNode>();
+/// Arena for the hand-built nodes of this suite. Interning the key sets
+/// here mirrors production: equal key sets share a pointer, so these tests
+/// also exercise the pointer-compare fast path of Dominates().
+PlanArena& TestArena() {
+  static PlanArena arena;
+  return arena;
+}
+
+PlanPtr MakePlan(double cost, double card, KeySet keys, bool dup_free) {
+  PlanNode* p = TestArena().NewNode();
   p->op = PlanOp::kJoin;
   p->rels = RelSet::FirstN(2);
   p->cost = cost;
   p->cardinality = card;
   p->raw_cardinality = card;
-  p->keys = std::move(keys);
+  p->keys_ = TestArena().InternKeys(keys);
   p->duplicate_free = dup_free;
   return p;
 }
