@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
-# Perf-trajectory tracking: runs the three perf-relevant benches
-# (bench_fig16_runtime, bench_complexity, bench_table2_tpch) with JSON
-# recording enabled and folds the results into BENCH_results.json at the
-# repo root.
+# Perf-trajectory tracking: runs the perf-relevant benches
+# (bench_fig16_runtime, bench_complexity, bench_table2_tpch,
+# bench_large_queries) with JSON recording enabled and folds the results
+# into BENCH_results.json at the repo root.
 #
 # Usage: scripts/bench.sh [--baseline] [--label TEXT] [build-dir]
 #
@@ -32,7 +32,8 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
-  --target bench_fig16_runtime bench_complexity bench_table2_tpch >/dev/null
+  --target bench_fig16_runtime bench_complexity bench_table2_tpch \
+           bench_large_queries >/dev/null
 
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
@@ -47,6 +48,9 @@ EADP_BENCH_JSON="$JSONL" EADP_BENCH_QUERIES="$QUERIES" \
 echo
 echo "== bench_table2_tpch =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_table2_tpch"
+echo
+echo "== bench_large_queries =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_large_queries"
 
 # Fold the JSONL records into BENCH_results.json ({"baseline": run,
 # "current": run}) and print a baseline-vs-current comparison when both

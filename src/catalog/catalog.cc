@@ -7,7 +7,8 @@
 namespace eadp {
 
 int Catalog::AddRelation(const std::string& name, double cardinality) {
-  assert(relations_.size() < 64 && "at most 64 relations per query");
+  assert(relations_.size() < static_cast<size_t>(kBitsetCapacity) &&
+         "at most 128 relations per query");
   RelationDef def;
   def.name = name;
   def.cardinality = cardinality;
@@ -17,7 +18,8 @@ int Catalog::AddRelation(const std::string& name, double cardinality) {
 
 int Catalog::AddAttribute(int rel, const std::string& name, double distinct) {
   assert(rel >= 0 && rel < num_relations());
-  assert(attributes_.size() < 64 && "at most 64 attributes per query");
+  assert(attributes_.size() < static_cast<size_t>(kBitsetCapacity) &&
+         "at most 128 attributes per query");
   AttributeDef def;
   def.name = name;
   def.relation = rel;

@@ -3,8 +3,8 @@
 // A Catalog describes the inputs of one query: every base relation with its
 // cardinality and declared keys, and every attribute with its estimated
 // number of distinct values. Attributes are numbered globally across the
-// whole query (at most 64 per query), so sets of attributes are plain
-// Bitset64 values, mirroring the relation sets used by the enumerator.
+// whole query (at most 128 per query), so sets of attributes are plain
+// Bitset128 values, mirroring the relation sets used by the enumerator.
 
 #ifndef EADP_CATALOG_CATALOG_H_
 #define EADP_CATALOG_CATALOG_H_

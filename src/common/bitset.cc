@@ -4,7 +4,7 @@
 
 namespace eadp {
 
-std::string Bitset64::ToString() const {
+std::string Bitset128::ToString() const {
   std::ostringstream os;
   os << '{';
   bool first = true;

@@ -1,0 +1,22 @@
+// The 64-bit mixer shared by hashing and RNG seeding.
+
+#ifndef EADP_COMMON_HASH_H_
+#define EADP_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace eadp {
+
+/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer. Used to
+/// seed the RNG (common/rng.h) and as the hash mixer for word-sized keys
+/// (relation sets, pointers) whose raw bit patterns cluster badly.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace eadp
+
+#endif  // EADP_COMMON_HASH_H_

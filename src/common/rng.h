@@ -11,17 +11,9 @@
 #include <cassert>
 #include <cstdint>
 
-namespace eadp {
+#include "common/hash.h"  // Mix64, re-exported for existing includers
 
-/// splitmix64 finalizer: a fast, well-distributed 64-bit mixer. Used to
-/// seed the RNG below and as the hash mixer for word-sized keys (relation
-/// sets, pointers) whose raw bit patterns cluster badly.
-inline uint64_t Mix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
+namespace eadp {
 
 /// Deterministic RNG (xoshiro256**).
 class Rng {

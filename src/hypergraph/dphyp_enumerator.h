@@ -6,7 +6,7 @@
 // bottom-up dynamic programming: both components of a pair are emitted
 // after all of their own sub-pairs.
 //
-// Invariants: the node universe is bounded to 64 (one Bitset64 word); for
+// Invariants: the node universe is bounded to 128 (one Bitset128 word); for
 // each unordered pair {S1, S2} exactly one orientation is emitted, and
 // dphyp_test cross-checks emission counts against closed forms (chains,
 // cycles, stars, cliques) and a brute-force csg-cmp enumeration.

@@ -1,0 +1,102 @@
+#include "plangen/dp_combine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace eadp {
+
+CcpCombiner::CcpCombiner(const Query* query, PlanBuilder* builder,
+                         DpTable* dp, Algorithm algorithm,
+                         double h2_tolerance)
+    : query_(query),
+      builder_(builder),
+      dp_(dp),
+      algorithm_(algorithm),
+      h2_tolerance_(h2_tolerance) {
+  assert(algorithm_ != Algorithm::kGoo && algorithm_ != Algorithm::kIdp &&
+         "CcpCombiner implements the DP insertion policies; the large-query "
+         "strategies are drivers on top of them (large_query.h)");
+}
+
+bool CcpCombiner::Combine(RelSet s1, RelSet s2) {
+  CrossingOps crossing = builder_->FindCrossingOps(s1, s2);
+  if (!crossing.valid) return false;
+  RelSet a = crossing.swap ? s2 : s1;
+  RelSet b = crossing.swap ? s1 : s2;
+  RelSet s = s1.Union(s2);
+  bool top = s == query_->AllRelations();
+
+  switch (algorithm_) {
+    case Algorithm::kDphyp: {
+      PlanPtr t1 = dp_->Best(a);
+      PlanPtr t2 = dp_->Best(b);
+      if (!t1 || !t2) return false;
+      dp_->InsertIfCheaper(s, builder_->MakeJoin(t1, t2, crossing));
+      break;
+    }
+    case Algorithm::kH1:
+    case Algorithm::kH2: {
+      PlanPtr t1 = dp_->Best(a);
+      PlanPtr t2 = dp_->Best(b);
+      if (!t1 || !t2) return false;
+      trees_.clear();
+      builder_->OpTrees(t1, t2, crossing, &trees_);
+      for (PlanPtr t : trees_) InsertHeuristic(s, t, top);
+      break;
+    }
+    case Algorithm::kEaAll:
+    case Algorithm::kEaPrune: {
+      // References stay valid while inserting: the target class `s` is
+      // strictly larger than `a` and `b`, and unordered_map rehashing
+      // never invalidates references to values (pinned by dp_table_test).
+      const std::vector<PlanPtr>& plans_a = dp_->Plans(a);
+      const std::vector<PlanPtr>& plans_b = dp_->Plans(b);
+      if (plans_a.empty() || plans_b.empty()) return false;
+      for (PlanPtr t1 : plans_a) {
+        for (PlanPtr t2 : plans_b) {
+          trees_.clear();
+          builder_->OpTrees(t1, t2, crossing, &trees_);
+          for (PlanPtr t : trees_) {
+            if (top) {
+              // InsertTopLevelPlan: single best complete plan.
+              dp_->InsertIfCheaper(s, t);
+            } else if (algorithm_ == Algorithm::kEaAll) {
+              dp_->Append(s, t);
+            } else {
+              dp_->InsertPruned(s, t);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case Algorithm::kGoo:
+    case Algorithm::kIdp:
+      return false;  // unreachable (constructor assert)
+  }
+  return true;
+}
+
+void CcpCombiner::InsertHeuristic(RelSet s, PlanPtr plan, bool top) {
+  if (algorithm_ == Algorithm::kH1) {
+    dp_->InsertIfCheaper(s, std::move(plan));
+    return;
+  }
+  PlanPtr old = dp_->Best(s);
+  if (!old) {
+    dp_->Append(s, std::move(plan));
+    return;
+  }
+  double f = h2_tolerance_;
+  bool better;
+  if (top || plan->Eagerness() == old->Eagerness()) {
+    better = plan->cost < old->cost;
+  } else if (plan->Eagerness() < old->Eagerness()) {
+    better = f * plan->cost < old->cost;
+  } else {
+    better = plan->cost < f * old->cost;
+  }
+  if (better) dp_->ReplaceSingle(s, std::move(plan));
+}
+
+}  // namespace eadp

@@ -1,0 +1,58 @@
+// The shared csg-cmp-pair combine step: one implementation of the DP-table
+// insertion policies that distinguish the plan generators (Fig. 5 single
+// best, Fig. 9 complete lists, Fig. 10/12 heuristic single trees, Fig. 13/14
+// dominance pruning).
+//
+// Both drivers of the dynamic program route every candidate cut through
+// this class: the exhaustive generator (plangen.cc) feeds it the
+// csg-cmp-pairs of the DPhyp enumeration, and the large-query subsystem
+// (large_query.h) feeds it the unit-subset splits of its bounded
+// subproblems. Keeping the policy in one place is what makes the kIdp
+// subproblems literally "the existing Optimize machinery on a smaller
+// universe" rather than a reimplementation.
+
+#ifndef EADP_PLANGEN_DP_COMBINE_H_
+#define EADP_PLANGEN_DP_COMBINE_H_
+
+#include <vector>
+
+#include "plangen/dp_table.h"
+#include "plangen/op_trees.h"
+#include "plangen/plangen.h"
+
+namespace eadp {
+
+class CcpCombiner {
+ public:
+  /// All pointers are borrowed and must outlive the combiner.
+  CcpCombiner(const Query* query, PlanBuilder* builder, DpTable* dp,
+              Algorithm algorithm, double h2_tolerance);
+
+  /// Applies the input operators crossing the (s1, s2) cut — if any apply —
+  /// and inserts the produced trees into the DP table under the algorithm's
+  /// insertion policy. Trees covering the whole query arrive finalized (the
+  /// OpTrees contract) and are kept single-best regardless of policy.
+  /// Returns true iff plans were built and offered to the table — false
+  /// when no operator crosses the cut, the cut is conflict-blocked, or a
+  /// source class holds no plans. (The offered plans may still all have
+  /// been pruned away by the insertion policy.)
+  bool Combine(RelSet s1, RelSet s2);
+
+ private:
+  /// BuildPlansH1 keeps the plain cheapest tree; BuildPlansH2 compares with
+  /// eagerness-adjusted costs (CompareAdjustedCosts, Fig. 12).
+  void InsertHeuristic(RelSet s, PlanPtr plan, bool top);
+
+  const Query* query_;
+  PlanBuilder* builder_;
+  DpTable* dp_;
+  Algorithm algorithm_;
+  double h2_tolerance_;
+  /// Scratch list reused across cuts (OpTrees appends into it) so the DP
+  /// loop does not allocate per pair.
+  std::vector<PlanPtr> trees_;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_DP_COMBINE_H_

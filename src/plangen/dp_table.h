@@ -81,21 +81,12 @@ class DpTable {
   size_t NumClasses() const { return table_.size(); }
 
  private:
-  /// Mixed (not identity) hash: relation sets of one query differ in a
-  /// few low bits, which identity hashing would pile into a handful of
-  /// buckets.
-  struct RelSetHash {
-    size_t operator()(RelSet s) const {
-      return static_cast<size_t>(Mix64(s.bits()));
-    }
-  };
-
   /// The class list for `rels`, created on demand with pre-reserved
   /// capacity (the complete generators typically keep a handful of plans
   /// per class, so the first few appends shouldn't each reallocate).
   std::vector<PlanPtr>& ClassOf(RelSet rels);
 
-  std::unordered_map<RelSet, std::vector<PlanPtr>, RelSetHash> table_;
+  std::unordered_map<RelSet, std::vector<PlanPtr>, RelSet::Hasher> table_;
   bool use_cardinality_ = true;
   bool use_keys_ = true;
   bool use_full_fds_ = false;

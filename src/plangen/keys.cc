@@ -34,7 +34,7 @@ uint64_t KeySet::Hash() const {
   // resolved by content comparison in the interner.
   uint64_t h = size_;
   for (size_t i = 0; i < size_; ++i) {
-    h = Mix64(keys_[i].bits() + h);
+    h = Mix64(keys_[i].Hash() + h);
   }
   return h;
 }

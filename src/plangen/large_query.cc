@@ -1,0 +1,334 @@
+#include "plangen/large_query.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "conflict/conflict_detector.h"
+#include "plangen/dp_combine.h"
+#include "plangen/dp_table.h"
+
+namespace eadp {
+
+namespace {
+
+/// Shared state of one large-query optimization run: the conflict detector,
+/// one PlanBuilder (and therefore one arena and one generated-column name
+/// space — subplans stitched together later must not collide on "$p"/"$c"
+/// columns, see DESIGN.md §8), and the stats bookkeeping.
+class LargeQueryRun {
+ public:
+  LargeQueryRun(const Query& query, const OptimizerOptions& options)
+      : query_(query),
+        options_(options),
+        conflicts_(query),
+        builder_(&query, &conflicts_, BuilderWithFds(options),
+                 std::make_shared<PlanArena>()),
+        start_(std::chrono::steady_clock::now()) {}
+
+  static BuilderOptions BuilderWithFds(const OptimizerOptions& options) {
+    BuilderOptions b = options.builder;
+    b.track_fds |= options.full_fd_dominance;
+    return b;
+  }
+
+  const Query& query() const { return query_; }
+  const OptimizerOptions& options() const { return options_; }
+  const ConflictDetector& conflicts() const { return conflicts_; }
+  PlanBuilder& builder() { return builder_; }
+
+  void CountCut() { ++cuts_tried_; }
+  void AbsorbTableStats(const DpTable& dp) {
+    table_plans_ += dp.TotalPlans();
+    table_classes_ += dp.NumClasses();
+  }
+
+  /// Base-relation scans, one unit per relation.
+  std::vector<PlanPtr> MakeLeafUnits() {
+    std::vector<PlanPtr> units;
+    units.reserve(static_cast<size_t>(query_.NumRelations()));
+    for (int r : BitsOf(query_.AllRelations())) {
+      units.push_back(builder_.MakeScan(r));
+    }
+    return units;
+  }
+
+  /// The plan of the original operator tree (no reordering, no eager
+  /// aggregation). Always applicable: every operator is applied at its own
+  /// original cut, where the conflict rules trivially hold.
+  PlanPtr CanonicalPlan() { return CanonicalRec(query_.root()); }
+
+  /// Finalizes `plan` if it is not already finalized, fills the stats and
+  /// hands the arena over.
+  OptimizeResult Finish(PlanPtr plan, Algorithm used) {
+    if (plan != nullptr && plan->op != PlanOp::kFinalMap) {
+      plan = builder_.FinalizeTop(plan);
+    }
+    OptimizeResult result;
+    result.plan = plan;
+    result.stats.algorithm = used;
+    result.stats.ccp_count = cuts_tried_;
+    result.stats.plans_built = builder_.plans_built();
+    result.stats.table_plans = table_plans_;
+    result.stats.table_classes = table_classes_;
+    result.stats.optimize_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    result.arena = builder_.arena();
+    return result;
+  }
+
+ private:
+  PlanPtr CanonicalRec(const OpTreeNode* node) {
+    if (node->is_leaf) return builder_.MakeScan(node->relation);
+    PlanPtr l = CanonicalRec(node->left.get());
+    PlanPtr r = CanonicalRec(node->right.get());
+    if (l == nullptr || r == nullptr) return nullptr;
+    CountCut();
+    CrossingOps crossing = builder_.FindCrossingOps(l->rels, r->rels);
+    if (!crossing.valid) return nullptr;
+    PlanPtr t1 = crossing.swap ? r : l;
+    PlanPtr t2 = crossing.swap ? l : r;
+    return builder_.MakeJoin(t1, t2, crossing);
+  }
+
+  const Query& query_;
+  const OptimizerOptions& options_;
+  ConflictDetector conflicts_;
+  PlanBuilder builder_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t cuts_tried_ = 0;
+  size_t table_plans_ = 0;
+  size_t table_classes_ = 0;
+};
+
+struct RelSetPairHash {
+  size_t operator()(const std::pair<RelSet, RelSet>& p) const {
+    return static_cast<size_t>(Mix64(p.first.Hash() + p.second.Hash()));
+  }
+};
+
+}  // namespace
+
+OptimizeResult OptimizeGreedy(const Query& query,
+                              const OptimizerOptions& options) {
+  LargeQueryRun run(query, options);
+  std::vector<PlanPtr> units = run.MakeLeafUnits();
+
+  // Cheapest OpTrees combination per unit pair, keyed by the pair's
+  // (disjoint, hence distinct) relation sets in canonical order. Merges
+  // leave all other units untouched, so cached candidates stay valid
+  // across rounds; only pairs involving the freshly merged unit miss.
+  std::unordered_map<std::pair<RelSet, RelSet>, PlanPtr, RelSetPairHash>
+      candidates;
+  candidates.reserve(units.size() * units.size() / 2);
+  std::vector<PlanPtr> trees;
+  auto candidate = [&](PlanPtr a, PlanPtr b) -> PlanPtr {
+    if (b->rels < a->rels) std::swap(a, b);
+    auto [it, inserted] = candidates.try_emplace({a->rels, b->rels}, nullptr);
+    if (!inserted) return it->second;
+    run.CountCut();
+    CrossingOps crossing = run.builder().FindCrossingOps(a->rels, b->rels);
+    if (!crossing.valid) return nullptr;
+    PlanPtr t1 = crossing.swap ? b : a;
+    PlanPtr t2 = crossing.swap ? a : b;
+    trees.clear();
+    run.builder().OpTrees(t1, t2, crossing, &trees);
+    PlanPtr best = nullptr;
+    for (PlanPtr t : trees) {
+      if (best == nullptr || t->cost < best->cost) best = t;
+    }
+    it->second = best;
+    return best;
+  };
+
+  while (units.size() > 1) {
+    size_t bi = 0, bj = 0;
+    PlanPtr best = nullptr;
+    for (size_t i = 0; i < units.size(); ++i) {
+      for (size_t j = i + 1; j < units.size(); ++j) {
+        PlanPtr t = candidate(units[i], units[j]);
+        if (t != nullptr && (best == nullptr || t->cost < best->cost)) {
+          best = t;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (best == nullptr) {
+      // Conflict rules block every remaining pair: give up on greedy
+      // merging and fall back to the always-applicable original tree.
+      return run.Finish(run.CanonicalPlan(), Algorithm::kGoo);
+    }
+    units[bi] = best;
+    units.erase(units.begin() + static_cast<ptrdiff_t>(bj));
+  }
+  return run.Finish(units[0], Algorithm::kGoo);
+}
+
+OptimizeResult OptimizeIdp(const Query& query,
+                           const OptimizerOptions& options) {
+  LargeQueryRun run(query, options);
+  std::vector<PlanPtr> units = run.MakeLeafUnits();
+  // Clamped: the subset-split DP below enumerates 2^(k+2) unit classes in
+  // 32-bit masks, and past ~16 the 3^k split work is absurd anyway.
+  int k = std::clamp(options.idp_block_size, 2, 16);
+  Algorithm inner = IsExhaustive(options.idp_inner) ? options.idp_inner
+                                                    : Algorithm::kEaPrune;
+
+  // Two units are adjacent when some input operator references relations
+  // of both — weaker than hypergraph connectivity (a hyperedge side may
+  // span several units), which is exactly what lets groups grow across
+  // hyperedges whose full side is not yet assembled.
+  size_t num_ops = query.ops().size();
+  auto adjacent = [&](RelSet a, RelSet b) {
+    for (size_t i = 0; i < num_ops; ++i) {
+      RelSet ses = run.conflicts().conflicts(static_cast<int>(i)).ses;
+      if (ses.Intersects(a) && ses.Intersects(b)) return true;
+    }
+    return false;
+  };
+
+  // Seeds whose subproblem produced no merge; retried only after some
+  // other subproblem changes the unit partition.
+  std::vector<RelSet> blocked;
+  auto is_blocked = [&](RelSet rels) {
+    return std::find(blocked.begin(), blocked.end(), rels) != blocked.end();
+  };
+
+  while (units.size() > 1) {
+    // Seed: the cheapest-cardinality unit not yet blocked — merging small
+    // inputs first mirrors the greedy block selection of IDP1.
+    size_t seed = units.size();
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (is_blocked(units[i]->rels)) continue;
+      if (seed == units.size() ||
+          units[i]->cardinality < units[seed]->cardinality) {
+        seed = i;
+      }
+    }
+    if (seed == units.size()) {
+      // Every remaining seed is stuck — let the caller fall back to kGoo.
+      return run.Finish(nullptr, Algorithm::kIdp);
+    }
+
+    // Grow the group by the smallest-cardinality adjacent unit. The last
+    // round gets two units of slack: leaving a 1-2 unit remainder forces a
+    // blind top-level stitch exactly where structure matters most (e.g.
+    // the closing edge of a cycle), and 3^(k+2) splits are still cheap.
+    int limit = static_cast<int>(units.size()) <= k + 2
+                    ? static_cast<int>(units.size())
+                    : k;
+    std::vector<size_t> group = {seed};
+    RelSet group_rels = units[seed]->rels;
+    while (static_cast<int>(group.size()) < limit) {
+      size_t pick = units.size();
+      for (size_t j = 0; j < units.size(); ++j) {
+        if (units[j]->rels.Intersects(group_rels)) continue;  // in group
+        if (!adjacent(group_rels, units[j]->rels)) continue;
+        if (pick == units.size() ||
+            units[j]->cardinality < units[pick]->cardinality) {
+          pick = j;
+        }
+      }
+      if (pick == units.size()) break;
+      group.push_back(pick);
+      group_rels.UnionWith(units[pick]->rels);
+    }
+    if (group.size() < 2) {
+      blocked.push_back(units[seed]->rels);
+      continue;
+    }
+
+    // Exact bounded DP over the group: every split of every unit subset,
+    // inserted under the inner algorithm's policy. Subset masks are
+    // processed in increasing word order, so both sides of a split are
+    // complete before the split is tried (the DP prerequisite).
+    int g = static_cast<int>(group.size());
+    uint32_t full = (uint32_t{1} << g) - 1;
+    std::vector<RelSet> class_rels(full + 1);
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      uint32_t low = mask & (~mask + 1);
+      class_rels[mask] =
+          class_rels[mask & (mask - 1)].Union(
+              units[group[static_cast<size_t>(std::countr_zero(low))]]->rels);
+    }
+    DpTable dp;
+    dp.SetDominanceOptions(!options.prune_without_cardinality,
+                           !options.prune_without_keys,
+                           options.full_fd_dominance);
+    dp.Reserve(full + 1);
+    CcpCombiner combiner(&query, &run.builder(), &dp, inner,
+                         options.h2_tolerance);
+    for (int b = 0; b < g; ++b) {
+      dp.Append(class_rels[uint32_t{1} << b], units[group[static_cast<size_t>(b)]]);
+    }
+    for (uint32_t mask = 3; mask <= full; ++mask) {
+      if (std::popcount(mask) < 2) continue;
+      uint32_t lowest = mask & (~mask + 1);
+      for (uint32_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        // Each unordered split once: keep the side holding the lowest unit.
+        if ((sub & lowest) == 0) continue;
+        uint32_t comp = mask ^ sub;
+        if (comp == 0) continue;
+        if (!dp.Has(class_rels[sub]) || !dp.Has(class_rels[comp])) continue;
+        run.CountCut();
+        combiner.Combine(class_rels[sub], class_rels[comp]);
+      }
+    }
+
+    // The winner replaces its units. When conflict rules leave the full
+    // group uncombinable, salvage the class that joins the most units
+    // (cheapest on ties) so the iteration still makes progress.
+    PlanPtr win = dp.Best(class_rels[full]);
+    uint32_t win_mask = full;
+    if (win == nullptr) {
+      int best_count = 1;
+      for (uint32_t mask = 3; mask <= full; ++mask) {
+        int count = std::popcount(mask);
+        if (count < 2) continue;
+        PlanPtr p = dp.Best(class_rels[mask]);
+        if (p == nullptr) continue;
+        if (count > best_count ||
+            (count == best_count && win != nullptr && p->cost < win->cost)) {
+          win = p;
+          win_mask = mask;
+          best_count = count;
+        }
+      }
+    }
+    run.AbsorbTableStats(dp);
+    if (win == nullptr) {
+      blocked.push_back(units[seed]->rels);
+      continue;
+    }
+
+    RelSet covered = class_rels[win_mask];
+    std::vector<PlanPtr> next;
+    next.reserve(units.size());
+    for (PlanPtr u : units) {
+      if (!u->rels.IsSubsetOf(covered)) next.push_back(u);
+    }
+    next.push_back(win);
+    units = std::move(next);
+    blocked.clear();
+  }
+  return run.Finish(units[0], Algorithm::kIdp);
+}
+
+OptimizeResult OptimizeOriginal(const Query& query,
+                                const OptimizerOptions& options) {
+  LargeQueryRun run(query, options);
+  return run.Finish(run.CanonicalPlan(), options.algorithm);
+}
+
+}  // namespace eadp

@@ -53,7 +53,7 @@ PlanPtr PlanBuilder::MakeScan(int rel) {
   return node;
 }
 
-const CrossingInfo* PlanBuilder::InternCrossing(uint64_t mask,
+const CrossingInfo* PlanBuilder::InternCrossing(Bitset128 mask,
                                                 const int* ops,
                                                 size_t count) {
   auto [it, inserted] = crossing_interner_.try_emplace(mask, nullptr);
@@ -82,11 +82,11 @@ CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) {
   CrossingOps out;
   RelSet s = s1.Union(s2);
   const std::vector<QueryOp>& ops = query_->ops();
-  assert(ops.size() <= 64);
+  assert(ops.size() <= static_cast<size_t>(kBitsetCapacity));
   int primary = -1;
-  int crossing[64];
+  int crossing[kBitsetCapacity];
   size_t count = 0;
-  uint64_t mask = 0;
+  Bitset128 mask;
   for (size_t i = 0; i < ops.size(); ++i) {
     RelSet ses = conflicts_->conflicts(static_cast<int>(i)).ses;
     if (!ses.Intersects(s1) || !ses.Intersects(s2)) continue;
@@ -99,7 +99,7 @@ CrossingOps PlanBuilder::FindCrossingOps(RelSet s1, RelSet s2) {
       primary = static_cast<int>(i);
     }
     crossing[count++] = static_cast<int>(i);
-    mask |= uint64_t{1} << i;
+    mask.Add(static_cast<int>(i));
   }
   if (count == 0) return out;
 

@@ -116,10 +116,10 @@ class PlanBuilder {
   }
 
   /// Interns the crossing payload for `ops` (primary first). `mask` is the
-  /// bitset of op indices — queries carry at most 64 operators, so the set
+  /// bitset of op indices — queries carry at most 127 operators, so the set
   /// itself is the interning key (the primary, and hence the list order,
   /// is a function of the set: it is the unique non-inner member).
-  const CrossingInfo* InternCrossing(uint64_t mask, const int* ops,
+  const CrossingInfo* InternCrossing(Bitset128 mask, const int* ops,
                                      size_t count);
   /// Merged aggregation state of a join, memoized per input-state pair.
   const PlanAggState* MergedState(const PlanAggState* left,
@@ -150,7 +150,8 @@ class PlanBuilder {
 
   std::shared_ptr<PlanArena> arena_;
   /// Op-index bitmask -> interned payload.
-  std::unordered_map<uint64_t, const CrossingInfo*> crossing_interner_;
+  std::unordered_map<Bitset128, const CrossingInfo*, Bitset128::Hasher>
+      crossing_interner_;
   /// Leaf aggregation states, one per relation (index = relation id).
   std::vector<const PlanAggState*> leaf_states_;
   std::unordered_map<std::pair<const void*, const void*>,

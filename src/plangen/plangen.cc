@@ -5,7 +5,9 @@
 
 #include "conflict/conflict_detector.h"
 #include "hypergraph/dphyp_enumerator.h"
+#include "plangen/dp_combine.h"
 #include "plangen/dp_table.h"
+#include "plangen/large_query.h"
 
 namespace eadp {
 
@@ -21,6 +23,10 @@ const char* AlgorithmName(Algorithm a) {
       return "H1";
     case Algorithm::kH2:
       return "H2";
+    case Algorithm::kGoo:
+      return "GOO";
+    case Algorithm::kIdp:
+      return "IDP";
   }
   return "?";
 }
@@ -34,7 +40,9 @@ class Generator {
         options_(options),
         conflicts_(query),
         builder_(&query, &conflicts_, BuilderWithFds(options),
-                 std::make_shared<PlanArena>()) {
+                 std::make_shared<PlanArena>()),
+        combiner_(&query, &builder_, &dp_, options.algorithm,
+                  options.h2_tolerance) {
     dp_.SetDominanceOptions(!options.prune_without_cardinality,
                             !options.prune_without_keys,
                             options.full_fd_dominance);
@@ -54,6 +62,7 @@ class Generator {
   OptimizeResult Run() {
     auto start = std::chrono::steady_clock::now();
     OptimizeResult result;
+    result.stats.algorithm = options_.algorithm;
 
     RelSet all = query_.AllRelations();
     for (int r : BitsOf(all)) {
@@ -62,7 +71,7 @@ class Generator {
 
     result.stats.ccp_count = EnumerateCsgCmpPairs(
         conflicts_.hypergraph(),
-        [this](RelSet s1, RelSet s2) { OnCcp(s1, s2); });
+        [this](RelSet s1, RelSet s2) { combiner_.Combine(s1, s2); });
 
     if (all.Count() == 1) {
       result.plan = builder_.FinalizeTop(dp_.Best(all));
@@ -89,99 +98,52 @@ class Generator {
   }
 
  private:
-  void OnCcp(RelSet s1, RelSet s2) {
-    CrossingOps crossing = builder_.FindCrossingOps(s1, s2);
-    if (!crossing.valid) return;
-    RelSet a = crossing.swap ? s2 : s1;
-    RelSet b = crossing.swap ? s1 : s2;
-    RelSet s = s1.Union(s2);
-    bool top = s == query_.AllRelations();
-
-    switch (options_.algorithm) {
-      case Algorithm::kDphyp: {
-        PlanPtr t1 = dp_.Best(a);
-        PlanPtr t2 = dp_.Best(b);
-        if (!t1 || !t2) return;
-        dp_.InsertIfCheaper(s, builder_.MakeJoin(t1, t2, crossing));
-        break;
-      }
-      case Algorithm::kH1:
-      case Algorithm::kH2: {
-        PlanPtr t1 = dp_.Best(a);
-        PlanPtr t2 = dp_.Best(b);
-        if (!t1 || !t2) return;
-        trees_.clear();
-        builder_.OpTrees(t1, t2, crossing, &trees_);
-        for (PlanPtr t : trees_) InsertHeuristic(s, t, top);
-        break;
-      }
-      case Algorithm::kEaAll:
-      case Algorithm::kEaPrune: {
-        // References stay valid while inserting: the target class `s` is
-        // strictly larger than `a` and `b`, and unordered_map rehashing
-        // never invalidates references to values (pinned by dp_table_test).
-        const std::vector<PlanPtr>& plans_a = dp_.Plans(a);
-        const std::vector<PlanPtr>& plans_b = dp_.Plans(b);
-        for (PlanPtr t1 : plans_a) {
-          for (PlanPtr t2 : plans_b) {
-            trees_.clear();
-            builder_.OpTrees(t1, t2, crossing, &trees_);
-            for (PlanPtr t : trees_) {
-              if (top) {
-                // InsertTopLevelPlan: single best complete plan.
-                dp_.InsertIfCheaper(s, t);
-              } else if (options_.algorithm == Algorithm::kEaAll) {
-                dp_.Append(s, t);
-              } else {
-                dp_.InsertPruned(s, t);
-              }
-            }
-          }
-        }
-        break;
-      }
-    }
-  }
-
-  /// BuildPlansH1 keeps the plain cheapest tree; BuildPlansH2 compares with
-  /// eagerness-adjusted costs (CompareAdjustedCosts, Fig. 12).
-  void InsertHeuristic(RelSet s, PlanPtr plan, bool top) {
-    if (options_.algorithm == Algorithm::kH1) {
-      dp_.InsertIfCheaper(s, std::move(plan));
-      return;
-    }
-    PlanPtr old = dp_.Best(s);
-    if (!old) {
-      dp_.Append(s, std::move(plan));
-      return;
-    }
-    double f = options_.h2_tolerance;
-    bool better;
-    if (top || plan->Eagerness() == old->Eagerness()) {
-      better = plan->cost < old->cost;
-    } else if (plan->Eagerness() < old->Eagerness()) {
-      better = f * plan->cost < old->cost;
-    } else {
-      better = plan->cost < f * old->cost;
-    }
-    if (better) dp_.ReplaceSingle(s, std::move(plan));
-  }
-
   const Query& query_;
   const OptimizerOptions& options_;
   ConflictDetector conflicts_;
   PlanBuilder builder_;
   DpTable dp_;
-  /// Scratch list reused across csg-cmp-pairs (OpTrees appends into it) so
-  /// the enumeration loop does not allocate per pair.
-  std::vector<PlanPtr> trees_;
+  CcpCombiner combiner_;
 };
 
 }  // namespace
 
 OptimizeResult Optimize(const Query& query, const OptimizerOptions& options) {
-  Generator gen(query, options);
-  return gen.Run();
+  switch (options.algorithm) {
+    case Algorithm::kGoo:
+      return OptimizeGreedy(query, options);
+    case Algorithm::kIdp:
+      return OptimizeIdp(query, options);
+    default: {
+      Generator gen(query, options);
+      return gen.Run();
+    }
+  }
+}
+
+OptimizeResult OptimizeAdaptive(const Query& query,
+                                const OptimizerOptions& options) {
+  if (query.NumRelations() <= options.adaptive_exact_relations) {
+    OptimizerOptions exact = options;
+    if (!IsExhaustive(exact.algorithm)) exact.algorithm = Algorithm::kEaPrune;
+    return Optimize(query, exact);
+  }
+  // Run both large-query strategies and keep the cheaper plan: kGoo costs
+  // O(n^2) crossing probes (single-digit ms at n=100), so racing it against
+  // kIdp buys a guaranteed `adaptive <= min(kIdp, kGoo)` cost for free and
+  // covers the topologies where bounded subproblems cannot combine at all
+  // (e.g. cliques, whose prefix-shaped SES sets defeat group selection).
+  OptimizeResult idp = OptimizeIdp(query, options);
+  OptimizeResult goo = OptimizeGreedy(query, options);
+  if (idp.plan == nullptr) return goo;
+  if (goo.plan == nullptr) return idp;
+  OptimizeResult result = goo.plan->cost < idp.plan->cost ? goo : idp;
+  const OptimizeResult& loser = result.plan == goo.plan ? idp : goo;
+  // The facade's cost is both runs, not just the winner's.
+  result.stats.optimize_ms += loser.stats.optimize_ms;
+  result.stats.ccp_count += loser.stats.ccp_count;
+  result.stats.plans_built += loser.stats.plans_built;
+  return result;
 }
 
 }  // namespace eadp

@@ -24,6 +24,27 @@
 // On every query, Cost(kEaPrune) == Cost(kEaAll), and no heuristic or the
 // baseline beats that optimum, which itself never exceeds the baseline
 // (all three relations pinned by plangen_test).
+//
+// Beyond the exhaustive enumeration, the large-query subsystem
+// (plangen/large_query.h) contributes two strategies for queries past the
+// exact-DP wall (~15 relations):
+//
+//   kGoo     — greedy operator ordering: merges the cheapest valid pair of
+//              subplans bottom-up, with eager-aggregation placement decided
+//              locally per merge. O(n^2) candidate evaluations; always
+//              terminates (falls back to the original operator tree when
+//              conflict rules block every remaining pair).
+//   kIdp     — iterative dynamic programming (IDP1 style): repeatedly runs
+//              the exact insertion policies over bounded unit subproblems
+//              (<= OptimizerOptions::idp_block_size units, default policy
+//              kEaPrune) and stitches the winners until one plan remains.
+//
+// OptimizeAdaptive is the production entry point: exact DP up to
+// OptimizerOptions::adaptive_exact_relations; above that both large-query
+// strategies run and the cheaper plan wins (kGoo doubling as the
+// always-terminating fallback). Differential tests pin that the facade is
+// cost-identical to kEaPrune on every corpus query where exact DP runs
+// (large_query_test).
 
 #ifndef EADP_PLANGEN_PLANGEN_H_
 #define EADP_PLANGEN_PLANGEN_H_
@@ -38,9 +59,15 @@
 
 namespace eadp {
 
-enum class Algorithm { kDphyp, kEaAll, kEaPrune, kH1, kH2 };
+enum class Algorithm { kDphyp, kEaAll, kEaPrune, kH1, kH2, kGoo, kIdp };
 
 const char* AlgorithmName(Algorithm a);
+
+/// True for the algorithms that run the exhaustive DPhyp enumeration (the
+/// five generators of the paper); false for the large-query strategies.
+inline bool IsExhaustive(Algorithm a) {
+  return a != Algorithm::kGoo && a != Algorithm::kIdp;
+}
 
 struct OptimizerOptions {
   Algorithm algorithm = Algorithm::kEaPrune;
@@ -56,14 +83,36 @@ struct OptimizerOptions {
   /// test instead of (in addition to) the key-based weakening. More exact,
   /// prunes less, costs closure computations per comparison.
   bool full_fd_dominance = false;
+
+  // ---- Large-query subsystem (plangen/large_query.h) ----
+
+  /// OptimizeAdaptive: queries with at most this many relations run the
+  /// exact enumeration with `algorithm`; larger ones run kIdp, with kGoo
+  /// as the always-terminating fallback. The default sits safely below the
+  /// exhaustive-DP wall for every topology (a 12-clique enumerates in the
+  /// low milliseconds; see bench_large_queries).
+  int adaptive_exact_relations = 12;
+  /// kIdp: maximum number of units (base relations or previously stitched
+  /// subplans) per bounded exact subproblem. Each subproblem enumerates
+  /// all connected splits of up to this many units (<= 3^k work), so the
+  /// knob trades plan quality against optimization time; 6 is the knee of
+  /// that curve on the seeded 100-relation workloads (k=7 costs ~3x the
+  /// time for plan costs within a few percent — see bench_large_queries).
+  int idp_block_size = 6;
+  /// kIdp: insertion policy used inside the bounded subproblems (any
+  /// exhaustive algorithm; the optimal pruned enumeration by default).
+  Algorithm idp_inner = Algorithm::kEaPrune;
 };
 
 struct OptimizeStats {
-  uint64_t ccp_count = 0;       ///< csg-cmp-pairs enumerated
+  uint64_t ccp_count = 0;       ///< csg-cmp-pairs (or candidate cuts) tried
   uint64_t plans_built = 0;     ///< plan nodes constructed
   size_t table_plans = 0;       ///< plans in the DP table at the end
   size_t table_classes = 0;     ///< plan classes in the DP table
   double optimize_ms = 0;       ///< wall-clock optimization time
+  /// The strategy that actually produced the plan — what OptimizeAdaptive
+  /// chose, including a fallback taken mid-flight (e.g. kIdp -> kGoo).
+  Algorithm algorithm = Algorithm::kEaPrune;
 };
 
 struct OptimizeResult {
@@ -75,8 +124,20 @@ struct OptimizeResult {
   std::shared_ptr<PlanArena> arena;
 };
 
-/// Runs the selected plan generator over a (canonicalized) query.
+/// Runs the selected plan generator over a (canonicalized) query. The
+/// exhaustive algorithms enumerate with DPhyp; kGoo/kIdp dispatch into the
+/// large-query subsystem.
 OptimizeResult Optimize(const Query& query, const OptimizerOptions& options);
+
+/// The adaptive facade: exact enumeration for queries with at most
+/// `options.adaptive_exact_relations` relations (using `options.algorithm`;
+/// a non-exhaustive value is coerced to kEaPrune); above that both
+/// large-query strategies run and the cheaper plan wins (kGoo doubles as
+/// the always-terminating fallback when kIdp cannot combine).
+/// `result.stats.algorithm` records the strategy that won; its counters
+/// and optimize_ms cover both runs.
+OptimizeResult OptimizeAdaptive(const Query& query,
+                                const OptimizerOptions& options);
 
 }  // namespace eadp
 

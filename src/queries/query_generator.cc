@@ -100,9 +100,168 @@ std::unique_ptr<OpTreeNode> BuildOperatorTree(
   return node;
 }
 
+/// Tail of the structured-topology path: random grouping attributes and
+/// aggregates over the given per-relation candidate attributes, then
+/// FromTree + Canonicalize. `group_attrs`/`value_attrs` are indexed by
+/// relation; only visible relations contribute. The random-tree path
+/// keeps its own near-identical tail: its draw sequence is pinned by
+/// seeded tests and benches and must not change, and it additionally
+/// groups by a join attribute with probability 0.25 (Eqv. 42 coverage).
+Query FinishQuery(const GeneratorOptions& options, Rng& rng, Catalog catalog,
+                  std::unique_ptr<OpTreeNode> root,
+                  const std::vector<int>& group_attrs,
+                  const std::vector<int>& value_attrs) {
+  RelSet visible = VisibleRelations(*root);
+  std::vector<int> visible_rels;
+  for (int r : BitsOf(visible)) visible_rels.push_back(r);
+  auto pick_visible = [&]() {
+    return visible_rels[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(visible_rels.size()) - 1))];
+  };
+
+  AttrSet group_by;
+  int num_group = static_cast<int>(rng.UniformInt(
+      1, std::min<int64_t>(3, static_cast<int64_t>(visible_rels.size()))));
+  for (int i = 0; i < num_group; ++i) {
+    group_by.Add(group_attrs[static_cast<size_t>(pick_visible())]);
+  }
+
+  AggregateVector aggregates;
+  AggregateFunction cnt;
+  cnt.output = "cnt";
+  cnt.kind = AggKind::kCountStar;
+  aggregates.push_back(cnt);
+  int num_aggs = static_cast<int>(rng.UniformInt(1, 3));
+  for (int i = 0; i < num_aggs; ++i) {
+    AggregateFunction f;
+    f.output = StrFormat("a%d", i);
+    f.arg = value_attrs[static_cast<size_t>(pick_visible())];
+    if (rng.Bernoulli(options.distinct_agg_probability)) {
+      f.kind = AggKind::kCount;
+      f.distinct = true;
+    } else if (rng.Bernoulli(options.avg_agg_probability)) {
+      f.kind = AggKind::kAvg;
+    } else {
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          f.kind = AggKind::kSum;
+          break;
+        case 1:
+          f.kind = AggKind::kMin;
+          break;
+        case 2:
+          f.kind = AggKind::kMax;
+          break;
+        default:
+          f.kind = AggKind::kCount;
+          break;
+      }
+    }
+    aggregates.push_back(f);
+  }
+
+  Query query = Query::FromTree(std::move(catalog), std::move(root), group_by,
+                                std::move(aggregates));
+  query.Canonicalize();
+  return query;
+}
+
+/// The structured large-query path: a left-deep tree of inner joins whose
+/// predicates form the requested topology. One attribute per relation (it
+/// serves as join, grouping and aggregation attribute) keeps 100-relation
+/// queries inside the 128-attribute universe, and join-attribute distinct
+/// counts stay within a decade of the cardinality so that the chained
+/// independence products of 100-way joins cannot overflow a double
+/// (|R| * sel <= ~10 per join step).
+Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  int n = options.num_relations;
+  assert(n >= 2 && n <= 100);
+
+  Catalog catalog;
+  std::vector<int> attrs(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    double card = std::floor(
+        LogUniform(rng, options.min_cardinality, options.max_cardinality));
+    int rel = catalog.AddRelation(StrFormat("R%d", r), card);
+    bool keyed = rng.Bernoulli(options.key_probability);
+    double distinct =
+        keyed ? card
+              : std::max(2.0, std::floor(LogUniform(rng, card / 10, card)));
+    attrs[static_cast<size_t>(r)] =
+        catalog.AddAttribute(rel, StrFormat("R%d.a", r), distinct);
+    if (keyed) {
+      catalog.DeclareKey(rel, AttrSet::Single(attrs[static_cast<size_t>(r)]));
+    }
+  }
+
+  auto edge_selectivity = [&](int ra, int rb) {
+    double da = catalog.DistinctOf(attrs[static_cast<size_t>(ra)]);
+    double db = catalog.DistinctOf(attrs[static_cast<size_t>(rb)]);
+    return LogUniform(rng, options.sel_jitter_min, options.sel_jitter_max) /
+           std::max(da, db);
+  };
+  auto add_edge = [&](JoinPredicate* pred, double* sel, int ra, int rb) {
+    pred->AddEquality(attrs[static_cast<size_t>(ra)],
+                      attrs[static_cast<size_t>(rb)]);
+    *sel *= edge_selectivity(ra, rb);
+  };
+
+  std::unique_ptr<OpTreeNode> root = OpTreeNode::Leaf(0);
+  for (int i = 1; i < n; ++i) {
+    JoinPredicate pred;
+    double sel = 1.0;
+    switch (options.topology) {
+      case QueryTopology::kChain:
+        add_edge(&pred, &sel, i - 1, i);
+        break;
+      case QueryTopology::kStar:
+        add_edge(&pred, &sel, 0, i);
+        break;
+      case QueryTopology::kCycle:
+        add_edge(&pred, &sel, i - 1, i);
+        // The last operator also carries the cycle-closing equality (a
+        // 2-cycle would duplicate the chain edge — stays a chain).
+        if (i == n - 1 && n > 2) add_edge(&pred, &sel, 0, i);
+        break;
+      case QueryTopology::kClique:
+        for (int j = 0; j < i; ++j) add_edge(&pred, &sel, j, i);
+        break;
+      case QueryTopology::kRandomTree:
+        assert(false && "structured path called with kRandomTree");
+        break;
+    }
+    root = OpTreeNode::Binary(OpKind::kJoin, std::move(root),
+                              OpTreeNode::Leaf(i), std::move(pred), sel);
+  }
+
+  // The single attribute doubles as grouping and aggregation attribute.
+  return FinishQuery(options, rng, std::move(catalog), std::move(root), attrs,
+                     attrs);
+}
+
 }  // namespace
 
+const char* TopologyName(QueryTopology t) {
+  switch (t) {
+    case QueryTopology::kRandomTree:
+      return "random-tree";
+    case QueryTopology::kChain:
+      return "chain";
+    case QueryTopology::kStar:
+      return "star";
+    case QueryTopology::kCycle:
+      return "cycle";
+    case QueryTopology::kClique:
+      return "clique";
+  }
+  return "?";
+}
+
 Query GenerateRandomQuery(const GeneratorOptions& options, uint64_t seed) {
+  if (options.topology != QueryTopology::kRandomTree) {
+    return GenerateStructuredQuery(options, seed);
+  }
   Rng rng(seed);
   int n = options.num_relations;
   assert(n >= 2 && n <= 20);

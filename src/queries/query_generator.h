@@ -17,8 +17,31 @@
 
 namespace eadp {
 
+/// Shape of the generated query graph.
+///
+///   kRandomTree — the paper's workload: unranked uniform binary operator
+///                 trees with a random operator mix (2..20 relations).
+///   kChain/kStar/kCycle/kClique — structured large-query topologies
+///                 (inner joins only, one attribute per relation) used by
+///                 the large-query subsystem; up to 100 relations. The
+///                 topology names the *predicate* structure: a chain links
+///                 consecutive relations, a star links every relation to
+///                 R0, a cycle closes the chain with an R0 = R_{n-1}
+///                 equality on the last operator, and a clique carries all
+///                 n(n-1)/2 pairwise equalities (operator i conjoins the i
+///                 equalities linking R_i to every earlier relation).
+enum class QueryTopology { kRandomTree, kChain, kStar, kCycle, kClique };
+
+const char* TopologyName(QueryTopology t);
+
 struct GeneratorOptions {
   int num_relations = 5;
+
+  /// Query-graph shape; the structured topologies ignore the operator mix
+  /// (inner joins only) and the per-relation group/value attributes (each
+  /// relation carries a single attribute so that 100-relation queries fit
+  /// the 128-attribute universe).
+  QueryTopology topology = QueryTopology::kRandomTree;
 
   /// Operator mix (weights; normalized internally).
   double w_join = 0.60;
@@ -55,7 +78,8 @@ struct GeneratorOptions {
 };
 
 /// Generates a random query; deterministic in (options, seed). The result
-/// is already canonicalized (avg split into sum/countNN).
+/// is already canonicalized (avg split into sum/countNN). Random trees
+/// support 2..20 relations, the structured topologies 2..100.
 Query GenerateRandomQuery(const GeneratorOptions& options, uint64_t seed);
 
 }  // namespace eadp

@@ -8,12 +8,12 @@
 namespace eadp {
 namespace {
 
-TEST(Bitset64, EmptyAndSingle) {
-  Bitset64 empty;
+TEST(Bitset128, EmptyAndSingle) {
+  Bitset128 empty;
   EXPECT_TRUE(empty.empty());
   EXPECT_EQ(empty.Count(), 0);
 
-  Bitset64 s = Bitset64::Single(5);
+  Bitset128 s = Bitset128::Single(5);
   EXPECT_FALSE(s.empty());
   EXPECT_EQ(s.Count(), 1);
   EXPECT_TRUE(s.Contains(5));
@@ -21,46 +21,48 @@ TEST(Bitset64, EmptyAndSingle) {
   EXPECT_EQ(s.Lowest(), 5);
 }
 
-TEST(Bitset64, FirstN) {
-  EXPECT_EQ(Bitset64::FirstN(0).Count(), 0);
-  EXPECT_EQ(Bitset64::FirstN(3).Count(), 3);
-  EXPECT_TRUE(Bitset64::FirstN(3).Contains(0));
-  EXPECT_TRUE(Bitset64::FirstN(3).Contains(2));
-  EXPECT_FALSE(Bitset64::FirstN(3).Contains(3));
-  EXPECT_EQ(Bitset64::FirstN(64).Count(), 64);
+TEST(Bitset128, FirstN) {
+  EXPECT_EQ(Bitset128::FirstN(0).Count(), 0);
+  EXPECT_EQ(Bitset128::FirstN(3).Count(), 3);
+  EXPECT_TRUE(Bitset128::FirstN(3).Contains(0));
+  EXPECT_TRUE(Bitset128::FirstN(3).Contains(2));
+  EXPECT_FALSE(Bitset128::FirstN(3).Contains(3));
+  EXPECT_EQ(Bitset128::FirstN(64).Count(), 64);
+  EXPECT_EQ(Bitset128::FirstN(100).Count(), 100);
+  EXPECT_EQ(Bitset128::FirstN(kBitsetCapacity).Count(), kBitsetCapacity);
 }
 
-TEST(Bitset64, SetAlgebra) {
-  Bitset64 a = Bitset64::Single(1).Union(Bitset64::Single(3));
-  Bitset64 b = Bitset64::Single(3).Union(Bitset64::Single(4));
+TEST(Bitset128, SetAlgebra) {
+  Bitset128 a = Bitset128::Single(1).Union(Bitset128::Single(3));
+  Bitset128 b = Bitset128::Single(3).Union(Bitset128::Single(4));
   EXPECT_EQ(a.Union(b).Count(), 3);
-  EXPECT_EQ(a.Intersect(b), Bitset64::Single(3));
-  EXPECT_EQ(a.Minus(b), Bitset64::Single(1));
+  EXPECT_EQ(a.Intersect(b), Bitset128::Single(3));
+  EXPECT_EQ(a.Minus(b), Bitset128::Single(1));
   EXPECT_TRUE(a.Intersects(b));
-  EXPECT_FALSE(a.Intersects(Bitset64::Single(0)));
-  EXPECT_TRUE(Bitset64::Single(3).IsSubsetOf(a));
+  EXPECT_FALSE(a.Intersects(Bitset128::Single(0)));
+  EXPECT_TRUE(Bitset128::Single(3).IsSubsetOf(a));
   EXPECT_FALSE(a.IsSubsetOf(b));
 }
 
-TEST(Bitset64, AddRemove) {
-  Bitset64 s;
+TEST(Bitset128, AddRemove) {
+  Bitset128 s;
   s.Add(7);
   s.Add(2);
   EXPECT_EQ(s.Count(), 2);
   s.Remove(7);
-  EXPECT_EQ(s, Bitset64::Single(2));
+  EXPECT_EQ(s, Bitset128::Single(2));
   s.Remove(3);  // not present: no-op
-  EXPECT_EQ(s, Bitset64::Single(2));
+  EXPECT_EQ(s, Bitset128::Single(2));
 }
 
-TEST(Bitset64, LowestBit) {
-  Bitset64 s = Bitset64::Single(6).Union(Bitset64::Single(2));
+TEST(Bitset128, LowestBit) {
+  Bitset128 s = Bitset128::Single(6).Union(Bitset128::Single(2));
   EXPECT_EQ(s.Lowest(), 2);
-  EXPECT_EQ(s.LowestBit(), Bitset64::Single(2));
+  EXPECT_EQ(s.LowestBit(), Bitset128::Single(2));
 }
 
-TEST(Bitset64, IterationOrder) {
-  Bitset64 s;
+TEST(Bitset128, IterationOrder) {
+  Bitset128 s;
   s.Add(9);
   s.Add(1);
   s.Add(63);
@@ -69,51 +71,102 @@ TEST(Bitset64, IterationOrder) {
   EXPECT_EQ(seen, (std::vector<int>{1, 9, 63}));
 }
 
-TEST(Bitset64, SubsetEnumerationCountsAllNonEmptySubsets) {
-  Bitset64 super;
+// The high word {64..127} must behave exactly like the low one — the
+// large-query subsystem keeps relation and attribute indices of 100-way
+// joins there.
+TEST(Bitset128, HighWordElements) {
+  Bitset128 s;
+  s.Add(63);
+  s.Add(64);
+  s.Add(127);
+  EXPECT_EQ(s.Count(), 3);
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(127));
+  EXPECT_FALSE(s.Contains(126));
+  EXPECT_EQ(s.Lowest(), 63);
+  s.Remove(63);
+  EXPECT_EQ(s.Lowest(), 64);
+  EXPECT_EQ(s.LowestBit(), Bitset128::Single(64));
+  std::vector<int> seen;
+  for (int i : BitsOf(s)) seen.push_back(i);
+  EXPECT_EQ(seen, (std::vector<int>{64, 127}));
+  EXPECT_EQ(s.ToString(), "{64,127}");
+}
+
+TEST(Bitset128, AlgebraAcrossTheWordBoundary) {
+  Bitset128 a = Bitset128::Single(10).Union(Bitset128::Single(70));
+  Bitset128 b = Bitset128::Single(70).Union(Bitset128::Single(120));
+  EXPECT_EQ(a.Intersect(b), Bitset128::Single(70));
+  EXPECT_EQ(a.Minus(b), Bitset128::Single(10));
+  EXPECT_EQ(a.Union(b).Count(), 3);
+  EXPECT_TRUE(Bitset128::Single(120).IsSubsetOf(b));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  // low()/high() split the halves consistently.
+  EXPECT_EQ(a.low(), uint64_t{1} << 10);
+  EXPECT_EQ(a.high(), uint64_t{1} << (70 - 64));
+}
+
+TEST(Bitset128, SubsetEnumerationCountsAllNonEmptySubsets) {
+  Bitset128 super;
   super.Add(0);
   super.Add(2);
   super.Add(5);
-  std::set<uint64_t> seen;
-  for (Bitset64 s : SubsetsOf(super)) {
+  std::set<Bitset128> seen;
+  for (Bitset128 s : SubsetsOf(super)) {
     EXPECT_TRUE(s.IsSubsetOf(super));
     EXPECT_FALSE(s.empty());
-    seen.insert(s.bits());
+    seen.insert(s);
   }
   EXPECT_EQ(seen.size(), 7u);  // 2^3 - 1
 }
 
-TEST(Bitset64, SubsetEnumerationOfEmptySetYieldsNothing) {
+TEST(Bitset128, SubsetEnumerationSpanningTheWordBoundary) {
+  Bitset128 super;
+  super.Add(3);
+  super.Add(62);
+  super.Add(65);
+  super.Add(127);
+  std::set<Bitset128> seen;
+  for (Bitset128 s : SubsetsOf(super)) {
+    EXPECT_TRUE(s.IsSubsetOf(super));
+    EXPECT_FALSE(s.empty());
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 15u);  // 2^4 - 1
+  EXPECT_TRUE(seen.count(Bitset128::Single(62).Union(Bitset128::Single(65))));
+}
+
+TEST(Bitset128, SubsetEnumerationOfEmptySetYieldsNothing) {
   int count = 0;
-  for (Bitset64 s : SubsetsOf(Bitset64())) {
+  for (Bitset128 s : SubsetsOf(Bitset128())) {
     (void)s;
     ++count;
   }
   EXPECT_EQ(count, 0);
 }
 
-TEST(Bitset64, SubsetEnumerationSingleton) {
-  std::vector<uint64_t> seen;
-  for (Bitset64 s : SubsetsOf(Bitset64::Single(4))) seen.push_back(s.bits());
+TEST(Bitset128, SubsetEnumerationSingleton) {
+  std::vector<Bitset128> seen;
+  for (Bitset128 s : SubsetsOf(Bitset128::Single(4))) seen.push_back(s);
   ASSERT_EQ(seen.size(), 1u);
-  EXPECT_EQ(seen[0], Bitset64::Single(4).bits());
+  EXPECT_EQ(seen[0], Bitset128::Single(4));
 }
 
-TEST(Bitset64, ToString) {
-  Bitset64 s;
+TEST(Bitset128, ToString) {
+  Bitset128 s;
   s.Add(0);
   s.Add(3);
   EXPECT_EQ(s.ToString(), "{0,3}");
-  EXPECT_EQ(Bitset64().ToString(), "{}");
+  EXPECT_EQ(Bitset128().ToString(), "{}");
 }
 
 class SubsetCountTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(SubsetCountTest, EnumeratesExactly2ToNMinus1) {
   int n = GetParam();
-  Bitset64 super = Bitset64::FirstN(n);
+  Bitset128 super = Bitset128::FirstN(n);
   uint64_t count = 0;
-  for (Bitset64 s : SubsetsOf(super)) {
+  for (Bitset128 s : SubsetsOf(super)) {
     (void)s;
     ++count;
   }

@@ -100,10 +100,10 @@ INSTANTIATE_TEST_SUITE_P(Sizes, GraphShapeTest,
 
 TEST(Dphyp, EmitsEachPairOnce) {
   Hypergraph g = Clique(6);
-  std::set<std::pair<uint64_t, uint64_t>> seen;
+  std::set<std::pair<RelSet, RelSet>> seen;
   EnumerateCsgCmpPairs(g, [&](RelSet s1, RelSet s2) {
-    uint64_t a = std::min(s1.bits(), s2.bits());
-    uint64_t b = std::max(s1.bits(), s2.bits());
+    RelSet a = std::min(s1, s2);
+    RelSet b = std::max(s1, s2);
     EXPECT_TRUE(seen.emplace(a, b).second)
         << "pair emitted twice: " << s1.ToString() << " " << s2.ToString();
     EXPECT_FALSE(s1.Intersects(s2));
@@ -117,14 +117,14 @@ TEST(Dphyp, BottomUpOrder) {
   // Both components of every emitted pair must already have been emitted as
   // unions of earlier pairs (or be singletons) — the DP prerequisite.
   Hypergraph g = Chain(6);
-  std::set<uint64_t> materialized;
+  std::set<RelSet> materialized;
   for (int i = 0; i < 6; ++i) {
-    materialized.insert(RelSet::Single(i).bits());
+    materialized.insert(RelSet::Single(i));
   }
   EnumerateCsgCmpPairs(g, [&](RelSet s1, RelSet s2) {
-    EXPECT_TRUE(materialized.count(s1.bits())) << s1.ToString();
-    EXPECT_TRUE(materialized.count(s2.bits())) << s2.ToString();
-    materialized.insert(s1.Union(s2).bits());
+    EXPECT_TRUE(materialized.count(s1)) << s1.ToString();
+    EXPECT_TRUE(materialized.count(s2)) << s2.ToString();
+    materialized.insert(s1.Union(s2));
   });
 }
 

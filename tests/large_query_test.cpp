@@ -1,0 +1,240 @@
+// Tier-1 coverage of the large-query subsystem (plangen/large_query.h):
+//
+//   * differential optimality — on every corpus query small enough to
+//     enumerate exhaustively (n <= 8), OptimizeAdaptive is cost-identical
+//     to kEaPrune, and the kGoo/kIdp/original costs are finite and never
+//     beat the optimum (with the kIdp/optimum ratio bounded and logged);
+//   * structural validity — every plan any strategy produces passes
+//     plan_validator, up to the seeded 100-relation topologies;
+//   * facade policy — relation count decides exact vs. large-query, and
+//     the 100-relation acceptance case optimizes within the budget;
+//   * exec smoke — kGoo/kIdp plans compute the kDphyp baseline's rows
+//     (the broad sweep lives in large_query_slow_test, ctest label
+//     "slow").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "plangen/large_query.h"
+#include "plangen/plan_validator.h"
+#include "plangen/plangen.h"
+#include "queries/data_generator.h"
+#include "queries/query_generator.h"
+#include "tests/test_util.h"
+
+namespace eadp {
+namespace {
+
+// Wall-clock assertions only hold on un-instrumented builds; sanitizers
+// slow the optimizer by an order of magnitude.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitizedBuild = true;
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+#else
+constexpr bool kSanitizedBuild = false;
+#endif
+
+std::vector<QueryTopology> StructuredTopologies() {
+  return {QueryTopology::kChain, QueryTopology::kStar, QueryTopology::kCycle,
+          QueryTopology::kClique};
+}
+
+/// The small differential corpus: every structured topology up to n = 9
+/// (n = 9 exceeds idp_block_size + 2, so kIdp genuinely stitches) plus the
+/// paper's random operator trees (mixed operators and inner-only).
+std::vector<Query> SmallCorpus() {
+  std::vector<Query> corpus;
+  for (QueryTopology t : StructuredTopologies()) {
+    for (int n = 2; n <= 9; ++n) {
+      for (uint64_t seed = 0; seed < 3; ++seed) {
+        GeneratorOptions gen;
+        gen.topology = t;
+        gen.num_relations = n;
+        corpus.push_back(GenerateRandomQuery(gen, seed));
+      }
+    }
+  }
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    GeneratorOptions gen;
+    gen.num_relations = 3 + static_cast<int>(seed % 4);
+    corpus.push_back(GenerateRandomQuery(gen, seed));
+    gen.num_relations = 5 + static_cast<int>(seed % 4);
+    gen.inner_joins_only = true;
+    corpus.push_back(GenerateRandomQuery(gen, seed + 500));
+  }
+  return corpus;
+}
+
+void ExpectValid(const OptimizeResult& r, const Query& query,
+                 const char* label) {
+  ASSERT_NE(r.plan, nullptr) << label;
+  std::vector<std::string> violations = ValidatePlan(r.plan, query);
+  EXPECT_TRUE(violations.empty())
+      << label << ": " << violations.size() << " violations, first: "
+      << violations.front();
+}
+
+TEST(LargeQueryDifferential, AdaptiveMatchesExactOptimumBelowThreshold) {
+  // With the exact-DP threshold at its default (12 >= corpus n), the
+  // facade must route to the exact enumeration — identical cost, not just
+  // close: it literally runs the same DP.
+  for (const Query& query : SmallCorpus()) {
+    OptimizerOptions options;  // kEaPrune, adaptive_exact_relations = 12
+    OptimizeResult exact = Optimize(query, options);
+    OptimizeResult adaptive = OptimizeAdaptive(query, options);
+    ASSERT_NE(exact.plan, nullptr);
+    ASSERT_NE(adaptive.plan, nullptr);
+    EXPECT_EQ(adaptive.stats.algorithm, Algorithm::kEaPrune);
+    EXPECT_EQ(adaptive.plan->cost, exact.plan->cost) << query.ToString();
+  }
+}
+
+TEST(LargeQueryDifferential, HeuristicCostsBracketedByOptimum) {
+  // kGoo and kIdp never beat the exact optimum, stay finite, and validate.
+  // The kIdp-vs-optimum ratio is logged and bounded on the seeded corpus;
+  // the bound is empirical (worst observed ~3.8 for kIdp, ~2.6 for kGoo)
+  // with headroom — a regression past it means a real quality loss, not
+  // noise, since everything is seeded.
+  double worst_idp = 1, worst_goo = 1;
+  int idp_planned = 0, total = 0;
+  for (const Query& query : SmallCorpus()) {
+    ++total;
+    OptimizerOptions options;
+    OptimizeResult exact = Optimize(query, options);
+    ASSERT_NE(exact.plan, nullptr);
+    double optimum = exact.plan->cost;
+
+    options.algorithm = Algorithm::kGoo;
+    OptimizeResult goo = Optimize(query, options);
+    ExpectValid(goo, query, "kGoo");
+    EXPECT_TRUE(std::isfinite(goo.plan->cost));
+    EXPECT_GE(goo.plan->cost, optimum * (1 - 1e-9));
+    if (optimum > 0) worst_goo = std::max(worst_goo, goo.plan->cost / optimum);
+
+    options.algorithm = Algorithm::kIdp;
+    OptimizeResult idp = Optimize(query, options);
+    if (idp.plan != nullptr) {
+      ++idp_planned;
+      ExpectValid(idp, query, "kIdp");
+      EXPECT_TRUE(std::isfinite(idp.plan->cost));
+      EXPECT_GE(idp.plan->cost, optimum * (1 - 1e-9));
+      if (optimum > 0) {
+        worst_idp = std::max(worst_idp, idp.plan->cost / optimum);
+      }
+    }
+
+    options.algorithm = Algorithm::kEaPrune;
+    OptimizeResult original = OptimizeOriginal(query, options);
+    ExpectValid(original, query, "original");
+    EXPECT_GE(original.plan->cost, optimum * (1 - 1e-9));
+  }
+  std::printf("[corpus %d queries] worst kIdp/optimum = %.3f (%d planned), "
+              "worst kGoo/optimum = %.3f\n",
+              total, worst_idp, idp_planned, worst_goo);
+  EXPECT_LE(worst_idp, 6.0);
+  EXPECT_LE(worst_goo, 5.0);
+  // kIdp must actually plan the overwhelming share of the corpus (the
+  // kGoo fallback exists for the rest).
+  EXPECT_GE(idp_planned * 10, total * 9);
+}
+
+TEST(LargeQueryFacade, RelationCountSelectsTheStrategy) {
+  GeneratorOptions gen;
+  gen.topology = QueryTopology::kChain;
+  gen.num_relations = 8;
+  Query small = GenerateRandomQuery(gen, 3);
+  OptimizerOptions options;
+  EXPECT_EQ(OptimizeAdaptive(small, options).stats.algorithm,
+            Algorithm::kEaPrune);
+
+  gen.num_relations = 20;
+  Query large = GenerateRandomQuery(gen, 3);
+  OptimizeResult r = OptimizeAdaptive(large, options);
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_TRUE(r.stats.algorithm == Algorithm::kGoo ||
+              r.stats.algorithm == Algorithm::kIdp);
+
+  // Raising the threshold routes the same query to the exhaustive
+  // enumeration. With the baseline insertion policy: kEaPrune's plan
+  // lists at 20 relations are exactly the wall the facade exists to
+  // avoid, but DPhyp's single-plan table enumerates a 20-chain in
+  // microseconds.
+  options.adaptive_exact_relations = 20;
+  options.algorithm = Algorithm::kDphyp;
+  EXPECT_EQ(OptimizeAdaptive(large, options).stats.algorithm,
+            Algorithm::kDphyp);
+}
+
+TEST(LargeQueryFacade, HundredRelationQueriesOptimizeWithinBudget) {
+  // The acceptance case: seeded 100-relation queries of every topology
+  // pass through OptimizeAdaptive to a validator-clean plan, in under
+  // 100 ms on un-instrumented builds.
+  for (QueryTopology t : StructuredTopologies()) {
+    GeneratorOptions gen;
+    gen.topology = t;
+    gen.num_relations = 100;
+    Query query = GenerateRandomQuery(gen, 1);
+    OptimizeResult r = OptimizeAdaptive(query, OptimizerOptions{});
+    ExpectValid(r, query, TopologyName(t));
+    EXPECT_TRUE(std::isfinite(r.plan->cost));
+    EXPECT_EQ(r.plan->rels, query.AllRelations());
+    if (!kSanitizedBuild) {
+      EXPECT_LT(r.stats.optimize_ms, 100) << TopologyName(t);
+    }
+  }
+}
+
+TEST(LargeQueryValidity, MidSizeTopologiesValidateUnderAllStrategies) {
+  for (QueryTopology t : StructuredTopologies()) {
+    for (int n : {20, 50}) {
+      GeneratorOptions gen;
+      gen.topology = t;
+      gen.num_relations = n;
+      Query query = GenerateRandomQuery(gen, 2);
+      for (Algorithm a : {Algorithm::kGoo, Algorithm::kIdp}) {
+        OptimizerOptions options;
+        options.algorithm = a;
+        OptimizeResult r = Optimize(query, options);
+        if (a == Algorithm::kIdp && r.plan == nullptr) continue;  // clique
+        ExpectValid(r, query, AlgorithmName(a));
+      }
+    }
+  }
+}
+
+TEST(LargeQueryExec, SmokeAgainstBaselineRows) {
+  // Row-level agreement with the kDphyp baseline on a few mixed-operator
+  // queries; the 60-seed sweep is in large_query_slow_test.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    GeneratorOptions gen;
+    gen.num_relations = 3 + static_cast<int>(seed % 3);
+    Query query = GenerateRandomQuery(gen, seed);
+    Database db = GenerateDatabase(query, seed * 31 + 5);
+    OptimizerOptions options;
+    options.algorithm = Algorithm::kDphyp;
+    OptimizeResult baseline = Optimize(query, options);
+    ASSERT_NE(baseline.plan, nullptr);
+    Table want = ExecutePlan(baseline.plan, query, db);
+    for (Algorithm a : {Algorithm::kGoo, Algorithm::kIdp}) {
+      options.algorithm = a;
+      OptimizeResult r = Optimize(query, options);
+      if (a == Algorithm::kIdp && r.plan == nullptr) continue;
+      ASSERT_NE(r.plan, nullptr) << AlgorithmName(a);
+      Table got = ExecutePlan(r.plan, query, db);
+      EXPECT_TRUE(Table::BagEquals(got, want))
+          << AlgorithmName(a) << " on seed " << seed << "\n"
+          << r.plan->ToString(query.catalog());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eadp

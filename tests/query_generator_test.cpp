@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "conflict/conflict_detector.h"
 #include "queries/random_tree.h"
 
 namespace eadp {
@@ -117,6 +123,129 @@ TEST(QueryGenerator, AvgGetsCanonicalized) {
     saw_division |= !q.final_divisions().empty();
   }
   EXPECT_TRUE(saw_division);
+}
+
+// ---------------------------------------------------------------------------
+// Structured large-query topologies (chain/star/cycle/clique).
+// ---------------------------------------------------------------------------
+
+std::vector<QueryTopology> StructuredTopologies() {
+  return {QueryTopology::kChain, QueryTopology::kStar, QueryTopology::kCycle,
+          QueryTopology::kClique};
+}
+
+/// Unordered relation pairs linked by at least one predicate equality.
+std::set<std::pair<int, int>> EqualityPairs(const Query& q) {
+  std::set<std::pair<int, int>> pairs;
+  for (const QueryOp& op : q.ops()) {
+    for (const AttrEquality& eq : op.predicate.equalities()) {
+      int a = q.catalog().RelationOf(eq.left_attr);
+      int b = q.catalog().RelationOf(eq.right_attr);
+      pairs.emplace(std::min(a, b), std::max(a, b));
+    }
+  }
+  return pairs;
+}
+
+size_t EqualityCount(const Query& q) {
+  size_t count = 0;
+  for (const QueryOp& op : q.ops()) count += op.predicate.equalities().size();
+  return count;
+}
+
+TEST(TopologyGenerator, DeterministicInSeedAcrossTopologies) {
+  for (QueryTopology t : StructuredTopologies()) {
+    GeneratorOptions gen;
+    gen.topology = t;
+    gen.num_relations = 30;
+    Query a = GenerateRandomQuery(gen, 42);
+    Query b = GenerateRandomQuery(gen, 42);
+    EXPECT_EQ(a.ToString(), b.ToString()) << TopologyName(t);
+    Query c = GenerateRandomQuery(gen, 43);
+    EXPECT_NE(a.ToString(), c.ToString()) << TopologyName(t);
+  }
+}
+
+TEST(TopologyGenerator, EdgeStructureMatchesTopology) {
+  for (int n : {2, 3, 5, 10, 40}) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      for (QueryTopology t : StructuredTopologies()) {
+        GeneratorOptions gen;
+        gen.topology = t;
+        gen.num_relations = n;
+        Query q = GenerateRandomQuery(gen, seed);
+        EXPECT_EQ(q.NumRelations(), n);
+        EXPECT_EQ(q.ops().size(), static_cast<size_t>(n - 1));
+        for (const QueryOp& op : q.ops()) {
+          EXPECT_EQ(op.kind, OpKind::kJoin);
+        }
+
+        std::set<std::pair<int, int>> pairs = EqualityPairs(q);
+        std::set<std::pair<int, int>> want;
+        switch (t) {
+          case QueryTopology::kChain:
+            for (int i = 1; i < n; ++i) want.emplace(i - 1, i);
+            break;
+          case QueryTopology::kStar:
+            for (int i = 1; i < n; ++i) want.emplace(0, i);
+            break;
+          case QueryTopology::kCycle:
+            for (int i = 1; i < n; ++i) want.emplace(i - 1, i);
+            if (n > 2) want.emplace(0, n - 1);
+            break;
+          case QueryTopology::kClique:
+            for (int i = 0; i < n; ++i) {
+              for (int j = i + 1; j < n; ++j) want.emplace(i, j);
+            }
+            break;
+          case QueryTopology::kRandomTree:
+            break;
+        }
+        EXPECT_EQ(pairs, want)
+            << TopologyName(t) << " n=" << n << " seed=" << seed;
+        // One equality per linked pair (the clique distributes its
+        // n(n-1)/2 equalities over the n-1 operators).
+        EXPECT_EQ(EqualityCount(q), want.size());
+      }
+    }
+  }
+}
+
+TEST(TopologyGenerator, HypergraphIsConnectedUpTo100Relations) {
+  for (int n : {2, 10, 50, 100}) {
+    for (QueryTopology t : StructuredTopologies()) {
+      GeneratorOptions gen;
+      gen.topology = t;
+      gen.num_relations = n;
+      Query q = GenerateRandomQuery(gen, 7);
+      EXPECT_EQ(q.NumRelations(), n) << TopologyName(t);
+      // One attribute per relation keeps 100-way joins inside the
+      // 128-attribute universe.
+      EXPECT_EQ(q.catalog().num_attributes(), n);
+      EXPECT_FALSE(q.group_by().empty());
+      EXPECT_FALSE(q.aggregates().empty());
+      ConflictDetector conflicts(q);
+      EXPECT_TRUE(conflicts.hypergraph().IsConnected(q.AllRelations()))
+          << TopologyName(t) << " n=" << n;
+    }
+  }
+}
+
+TEST(TopologyGenerator, CardinalityProductsStayFinite) {
+  // 100-way independence products must not overflow a double — the
+  // structured path keeps |R| * selectivity within a decade per join step.
+  for (QueryTopology t : StructuredTopologies()) {
+    GeneratorOptions gen;
+    gen.topology = t;
+    gen.num_relations = 100;
+    Query q = GenerateRandomQuery(gen, 11);
+    double product = 1;
+    for (int r = 0; r < q.NumRelations(); ++r) {
+      product *= q.catalog().relation(r).cardinality;
+    }
+    for (const QueryOp& op : q.ops()) product *= op.selectivity;
+    EXPECT_TRUE(std::isfinite(product)) << TopologyName(t);
+  }
 }
 
 TEST(QueryGenerator, GroupJoinsCarryAggregates) {
