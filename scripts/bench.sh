@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Perf-trajectory tracking: runs the perf-relevant benches
 # (bench_fig16_runtime, bench_complexity, bench_table2_tpch,
-# bench_large_queries) with JSON recording enabled and folds the results
-# into BENCH_results.json at the repo root.
+# bench_large_queries, bench_parallel) with JSON recording enabled and
+# folds the results into BENCH_results.json at the repo root.
 #
 # Usage: scripts/bench.sh [--baseline] [--label TEXT] [build-dir]
 #
@@ -33,7 +33,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target bench_fig16_runtime bench_complexity bench_table2_tpch \
-           bench_large_queries >/dev/null
+           bench_large_queries bench_parallel >/dev/null
 
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
@@ -51,6 +51,9 @@ EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_table2_tpch"
 echo
 echo "== bench_large_queries =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_large_queries"
+echo
+echo "== bench_parallel (throughput scaling; bounded by physical cores) =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_parallel"
 
 # Fold the JSONL records into BENCH_results.json ({"baseline": run,
 # "current": run}) and print a baseline-vs-current comparison when both

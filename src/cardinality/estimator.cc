@@ -1,11 +1,10 @@
 #include "cardinality/estimator.h"
 
-#include <limits>
-
 namespace eadp {
 
 double CardinalityEstimator::GroupingCardinality(AttrSet group_attrs,
                                                  double input_card) const {
+  input_card = ClampCard(input_card);
   if (input_card <= 1) return input_card;
   // Schema functional dependencies: if a declared key of relation R is
   // contained in the grouping attributes, R's other attributes are
@@ -34,11 +33,17 @@ double CardinalityEstimator::JoinCardinality(OpKind kind, double left_card,
                                              double right_card,
                                              double selectivity,
                                              double right_match_distinct) const {
+  // Clamp the inputs before forming products: with both sides at most
+  // kMaxCardinality and selectivity <= 1, `inner` stays <= 1e300 (finite),
+  // so the kFullOuter subtractions below can never see inf and produce NaN
+  // — the failure mode that motivates the whole clamping discipline.
+  left_card = ClampCard(left_card);
+  right_card = ClampCard(right_card);
   double inner = left_card * right_card * selectivity;
   if (right_match_distinct < 0) right_match_distinct = right_card;
   switch (kind) {
     case OpKind::kJoin:
-      return inner;
+      return ClampCard(inner);
     case OpKind::kLeftSemi: {
       // P(left tuple has >= 1 partner) ~ min(1, sel * #distinct right join
       // values) — invariant under grouping of the right side.
@@ -51,27 +56,30 @@ double CardinalityEstimator::JoinCardinality(OpKind kind, double left_card,
     }
     case OpKind::kLeftOuter:
       // Matched pairs plus one row for every unmatched left tuple.
-      return std::max(inner, left_card);
+      return ClampCard(std::max(inner, left_card));
     case OpKind::kFullOuter: {
       double unmatched_left = std::max(0.0, left_card - inner);
       double unmatched_right = std::max(0.0, right_card - inner);
-      return inner + unmatched_left + unmatched_right;
+      return ClampCard(inner + unmatched_left + unmatched_right);
     }
     case OpKind::kGroupJoin:
       return left_card;  // exactly one output row per left tuple
   }
-  return inner;
+  return ClampCard(inner);
 }
 
 double CardinalityEstimator::KeyImpliedBound(
     std::span<const AttrSet> keys) const {
-  double bound = std::numeric_limits<double>::infinity();
+  double bound = kMaxCardinality;
   for (AttrSet key : keys) {
     double combinations = 1;
-    for (int a : BitsOf(key)) combinations *= catalog_->DistinctOf(a);
+    for (int a : BitsOf(key)) {
+      combinations *= catalog_->DistinctOf(a);
+      if (combinations >= kMaxCardinality) break;  // saturated
+    }
     bound = std::min(bound, combinations);
   }
-  return bound;
+  return ClampCard(bound);
 }
 
 }  // namespace eadp

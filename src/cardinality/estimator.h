@@ -7,11 +7,24 @@
 // catalog and capped by the input cardinality (the standard uniformity
 // model). The paper's random workloads draw cardinalities and selectivities
 // directly (Sec. 5), which this estimator consumes as-is.
+//
+// Overflow discipline: every estimate is clamped to the finite ceiling
+// kMaxCardinality, and no non-finite value ever escapes the estimator
+// (asserted). Independence products along deep join chains otherwise reach
+// inf in well under 128 relations (e.g. 40 joins growing 10^8x each), and
+// one inf poisons everything downstream — kFullOuter's unmatched-side
+// subtraction turns it into NaN, and NaN costs make every plan comparison
+// false, silently corrupting DP-table pruning. Callers that chain products
+// *outside* the estimator (the raw/pregroup chains of op_trees.cc) apply
+// the same clamp via ClampCard. estimator_test pins the previously
+// overflowing chain.
 
 #ifndef EADP_CARDINALITY_ESTIMATOR_H_
 #define EADP_CARDINALITY_ESTIMATOR_H_
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -22,6 +35,23 @@ namespace eadp {
 
 class CardinalityEstimator {
  public:
+  /// Finite ceiling on every cardinality estimate. Chosen so the *product
+  /// of two clamped values times a selectivity* (at most 1e300) is still a
+  /// normal double — the estimator's formulas may form one such product
+  /// before re-clamping, and intermediate inf is exactly what the clamp
+  /// exists to prevent. Orders of magnitude above any consistent estimate
+  /// (the seeded 100-relation workloads peak around 1e105), so plans only
+  /// saturate when their true estimate is already astronomically bad.
+  static constexpr double kMaxCardinality = 1e150;
+
+  /// Clamps a chained product into [0, kMaxCardinality]. Inputs must not
+  /// be NaN: operands clamped to kMaxCardinality can never produce one
+  /// (inf - inf needs a factor >= 1e300), so a NaN here means a caller
+  /// chained an unclamped value — assert, don't launder.
+  static double ClampCard(double card) {
+    assert(!std::isnan(card) && "NaN cardinality reached the estimator");
+    return std::min(card, kMaxCardinality);
+  }
   explicit CardinalityEstimator(const Catalog* catalog) : catalog_(catalog) {}
 
   /// Base relation cardinality.
@@ -49,8 +79,11 @@ class CardinalityEstimator {
                          double right_match_distinct = -1) const;
 
   /// Upper bound on a duplicate-free result's cardinality implied by its
-  /// candidate keys: min over keys of Π d(attr). Keys certify uniqueness,
-  /// so no consistent estimate may exceed this bound.
+  /// candidate keys: min over keys of Π d(attr), clamped to
+  /// kMaxCardinality. Keys certify uniqueness, so no consistent estimate
+  /// may exceed this bound. kMaxCardinality (not infinity) is returned for
+  /// an empty key span, keeping `min(estimate, bound)` a no-op there while
+  /// still never handing callers a non-finite value.
   double KeyImpliedBound(std::span<const AttrSet> keys) const;
 
  private:

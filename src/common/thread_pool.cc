@@ -1,0 +1,57 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace eadp {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  // Workers only exit once the queue is empty (see WorkerLoop), so every
+  // task submitted before this point still runs.
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+    ++submitted_;
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Run outside the lock. A throwing job would terminate the worker (and
+    // the process); Submit wraps everything in a packaged_task, which
+    // captures exceptions into the future instead.
+    job();
+  }
+}
+
+}  // namespace eadp

@@ -150,26 +150,49 @@ OptimizeResult OptimizeGreedy(const Query& query,
     return best;
   };
 
+  int merges = 0;
   while (units.size() > 1) {
     size_t bi = 0, bj = 0;
     PlanPtr best = nullptr;
-    for (size_t i = 0; i < units.size(); ++i) {
-      for (size_t j = i + 1; j < units.size(); ++j) {
-        PlanPtr t = candidate(units[i], units[j]);
-        if (t != nullptr && (best == nullptr || t->cost < best->cost)) {
-          best = t;
-          bi = i;
-          bj = j;
+    // The merge budget (testing/ablation, -1 = unlimited) deliberately
+    // routes through the same fallback branch as a conflict-blocked state,
+    // so tests can pin the fallback on a genuinely partially-merged run.
+    bool budget_left = options.goo_merge_budget < 0 ||
+                       merges < options.goo_merge_budget;
+    if (budget_left) {
+      for (size_t i = 0; i < units.size(); ++i) {
+        for (size_t j = i + 1; j < units.size(); ++j) {
+          PlanPtr t = candidate(units[i], units[j]);
+          if (t != nullptr && (best == nullptr || t->cost < best->cost)) {
+            best = t;
+            bi = i;
+            bj = j;
+          }
         }
       }
     }
     if (best == nullptr) {
-      // Conflict rules block every remaining pair: give up on greedy
-      // merging and fall back to the always-applicable original tree.
+      // Conflict rules block every remaining pair (or the merge budget is
+      // exhausted): give up on greedy merging and fall back to the
+      // always-applicable original tree. The successfully merged units are
+      // discarded wholesale — audited 2026-07: a partial-merge-preserving
+      // fallback has nothing to attach to, because a blocked state means
+      // the *pending* operators reject every inter-unit cut, and the
+      // canonical rebuild applies every operator at its own original cut,
+      // which conflict rules always admit. The discarded units only cost
+      // arena memory (already-built nodes stay allocated until the run's
+      // arena dies), and the fallback plan is exactly OptimizeOriginal's —
+      // validator-clean and cost-equal, pinned by large_query_test. No
+      // natural trigger is known for tree-shaped single-predicate queries
+      // (a 15k-query sweep over mixed-operator trees never blocked:
+      // CD-C's conservative rules only admit merges that keep the
+      // remaining ops applicable along the original tree), so the branch
+      // is exercised via OptimizerOptions::goo_merge_budget.
       return run.Finish(run.CanonicalPlan(), Algorithm::kGoo);
     }
     units[bi] = best;
     units.erase(units.begin() + static_cast<ptrdiff_t>(bj));
+    ++merges;
   }
   return run.Finish(units[0], Algorithm::kGoo);
 }

@@ -195,8 +195,8 @@ PlanPtr PlanBuilder::MakeJoin(PlanPtr left, PlanPtr right,
   if (node->op == PlanOp::kJoin) {
     // Inner joins chain the uncapped independence product (order
     // invariant) and apply this node's key-implied bound locally.
-    node->raw_cardinality =
-        left->raw_cardinality * right->raw_cardinality * selectivity;
+    node->raw_cardinality = CardinalityEstimator::ClampCard(
+        left->raw_cardinality * right->raw_cardinality * selectivity);
     node->cardinality = node->raw_cardinality;
   } else {
     // Semijoin/antijoin match probability is driven by the distinct join
@@ -223,8 +223,10 @@ PlanPtr PlanBuilder::MakeJoin(PlanPtr left, PlanPtr right,
   }
   // Non-inner operators restart the raw chain from their capped estimate.
   if (node->op != PlanOp::kJoin) node->raw_cardinality = node->cardinality;
-  node->pregroup_cardinality =
-      left->pregroup_cardinality * right->pregroup_cardinality * selectivity;
+  // The raw/pregroup chains multiply outside the estimator, so they clamp
+  // the same way (factors <= kMaxCardinality keep the product finite).
+  node->pregroup_cardinality = CardinalityEstimator::ClampCard(
+      left->pregroup_cardinality * right->pregroup_cardinality * selectivity);
   node->cost = cost_model_.BinaryOpCost(node->cardinality, left->cost,
                                         right->cost);
 

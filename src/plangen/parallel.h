@@ -1,0 +1,95 @@
+// The parallel optimizer subsystem: batched multi-query throughput and the
+// concurrent kGoo/kIdp race, on top of common/thread_pool.h.
+//
+// Concurrency model (DESIGN.md §9): the unit of parallelism is one whole
+// optimization run. Every run owns a private PlanArena and builds all of
+// its state (ConflictDetector, PlanBuilder, DpTable) from a const Query&,
+// so concurrent runs share nothing mutable by construction — the hot path
+// takes no locks, and the only synchronization anywhere is the pool's task
+// queue and the futures' fan-in.
+//
+// Determinism is the hard requirement: for every query, the parallel entry
+// points produce plans cost-identical to their sequential counterparts.
+// OptimizeBatch runs the same per-query facade as a sequential loop would
+// (each task is independent and internally deterministic), and the
+// concurrent race funnels its two results through the same
+// PickAdaptiveWinner policy as the sequential facade — the winner is
+// decided by comparing both completed plans, never by completion order.
+// parallel_test pins both differentially, under repetition.
+
+#ifndef EADP_PLANGEN_PARALLEL_H_
+#define EADP_PLANGEN_PARALLEL_H_
+
+#include <span>
+#include <vector>
+
+#include "algebra/query.h"
+#include "common/thread_pool.h"
+#include "plangen/plangen.h"
+
+namespace eadp {
+
+/// Aggregate serving statistics of one OptimizeBatch call. Latencies are
+/// per-query wall-clock optimization times (exact-DP or adaptive race,
+/// whatever the facade ran); percentiles use the nearest-rank method.
+struct BatchStats {
+  int num_queries = 0;
+  int num_threads = 1;      ///< pool size actually used (1 == sequential)
+  double wall_ms = 0;       ///< end-to-end batch wall clock
+  double queries_per_second = 0;  ///< num_queries / wall seconds
+  double p50_ms = 0;        ///< median per-query optimization latency
+  double p95_ms = 0;        ///< 95th-percentile per-query latency
+  double max_ms = 0;        ///< slowest single query
+  double total_optimize_ms = 0;  ///< sum of per-query latencies (~CPU time)
+};
+
+/// Result of one batch: per-query results in input order (each carrying its
+/// own arena, exactly as if Optimize had been called in a loop) plus the
+/// aggregate stats.
+struct BatchResult {
+  std::vector<OptimizeResult> results;
+  BatchStats stats;
+};
+
+/// The serving entry point: plans every query of `queries` through
+/// OptimizeAdaptive, one pool task (and one private arena) per query, and
+/// returns per-query results plus throughput/latency aggregates.
+///
+/// `num_threads <= 1` runs the plain sequential loop on the caller's thread
+/// — the differential reference. Per-query plan costs are bit-identical
+/// across thread counts (parallel_test). Queries inside one task run the
+/// *sequential* adaptive facade: with a full batch in flight the pool is
+/// already saturated, so racing strategies per query would only add queue
+/// pressure, not speed.
+BatchResult OptimizeBatch(std::span<const Query> queries,
+                          const OptimizerOptions& options, int num_threads);
+
+/// As above, on a caller-owned pool (reused across batches by a serving
+/// loop; the call still blocks until the whole batch is planned). A null
+/// pool runs sequentially.
+BatchResult OptimizeBatch(std::span<const Query> queries,
+                          const OptimizerOptions& options, ThreadPool* pool);
+
+/// OptimizeAdaptive with the large-query kGoo/kIdp race run as two
+/// genuinely concurrent tasks: kIdp as a pool task, kGoo on the calling
+/// thread (one pool slot, no idle caller). Both strategies build into
+/// private arenas; the caller waits for *both* results, PickAdaptiveWinner
+/// keeps the cheaper plan and the loser's arena is dropped wholesale
+/// (DESIGN.md §8 ownership rules — no node of one run ever points into the
+/// other's arena). Cost-identical to the sequential facade by
+/// construction; wall clock is ~max(t_goo, t_idp) instead of their *sum* —
+/// both results must be in hand before the comparison, so the slower
+/// strategy bounds latency (a first-finisher-wins scheme would be faster
+/// but scheduler-dependent, breaking the determinism contract).
+///
+/// Falls back to the sequential OptimizeAdaptive when `pool` is null or
+/// has fewer than 2 threads (matching the batch entry point's sequential
+/// reference path). Queries at or below the exact-DP threshold route to
+/// the exact enumeration unchanged — there is no race to parallelize.
+OptimizeResult OptimizeAdaptiveConcurrent(const Query& query,
+                                          const OptimizerOptions& options,
+                                          ThreadPool* pool);
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_PARALLEL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "conflict/conflict_detector.h"
 #include "hypergraph/dphyp_enumerator.h"
@@ -133,12 +134,19 @@ OptimizeResult OptimizeAdaptive(const Query& query,
   // kIdp buys a guaranteed `adaptive <= min(kIdp, kGoo)` cost for free and
   // covers the topologies where bounded subproblems cannot combine at all
   // (e.g. cliques, whose prefix-shaped SES sets defeat group selection).
+  // The concurrent variant of this race lives in plangen/parallel.h; both
+  // funnel through PickAdaptiveWinner.
   OptimizeResult idp = OptimizeIdp(query, options);
   OptimizeResult goo = OptimizeGreedy(query, options);
+  return PickAdaptiveWinner(std::move(idp), std::move(goo));
+}
+
+OptimizeResult PickAdaptiveWinner(OptimizeResult idp, OptimizeResult goo) {
   if (idp.plan == nullptr) return goo;
   if (goo.plan == nullptr) return idp;
-  OptimizeResult result = goo.plan->cost < idp.plan->cost ? goo : idp;
-  const OptimizeResult& loser = result.plan == goo.plan ? idp : goo;
+  bool goo_wins = goo.plan->cost < idp.plan->cost;
+  OptimizeResult result = goo_wins ? std::move(goo) : std::move(idp);
+  const OptimizeResult& loser = goo_wins ? idp : goo;  // the unmoved one
   // The facade's cost is both runs, not just the winner's.
   result.stats.optimize_ms += loser.stats.optimize_ms;
   result.stats.ccp_count += loser.stats.ccp_count;

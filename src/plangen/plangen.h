@@ -102,6 +102,15 @@ struct OptimizerOptions {
   /// kIdp: insertion policy used inside the bounded subproblems (any
   /// exhaustive algorithm; the optimal pruned enumeration by default).
   Algorithm idp_inner = Algorithm::kEaPrune;
+  /// kGoo testing/ablation hook: number of greedy merges after which the
+  /// run takes its original-tree fallback (-1 = unlimited, the production
+  /// setting). The fallback's natural trigger — conflict rules blocking
+  /// every remaining unit pair mid-run — has no known witness among
+  /// tree-shaped single-predicate queries (see the audit note in
+  /// large_query.cc), so the regression tests drive the fallback path
+  /// through this cap instead: it funnels a genuinely partially-merged
+  /// state through the very same branch.
+  int goo_merge_budget = -1;
 };
 
 struct OptimizeStats {
@@ -138,6 +147,16 @@ OptimizeResult Optimize(const Query& query, const OptimizerOptions& options);
 /// and optimize_ms cover both runs.
 OptimizeResult OptimizeAdaptive(const Query& query,
                                 const OptimizerOptions& options);
+
+/// Merges the two completed large-query race results into the facade's
+/// result: the cheaper plan wins (kIdp on cost ties, matching the
+/// sequential facade since PR 3), the loser's counters are folded into the
+/// winner's stats, and the loser's arena is dropped wholesale when its
+/// OptimizeResult dies. A null plan loses outright (kIdp legitimately
+/// returns none on cliques). Shared by the sequential facade and the
+/// concurrent race (plangen/parallel.h), so the two are cost-identical by
+/// construction rather than by testing alone.
+OptimizeResult PickAdaptiveWinner(OptimizeResult idp, OptimizeResult goo);
 
 }  // namespace eadp
 

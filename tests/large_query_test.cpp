@@ -210,6 +210,61 @@ TEST(LargeQueryValidity, MidSizeTopologiesValidateUnderAllStrategies) {
   }
 }
 
+TEST(LargeQueryGooFallback, PartialMergeFallbackValidatesAndMatchesOriginal) {
+  // Regression for the kGoo original-tree fallback: when greedy merging
+  // stops mid-run with units already merged, the fallback discards those
+  // units and rebuilds the canonical tree. The discarded-unit state must
+  // not leak into the result: the plan validates and costs exactly what
+  // OptimizeOriginal produces (never more). The natural trigger (conflict
+  // rules blocking every remaining pair) has no known tree-shaped witness
+  // — see the audit note in large_query.cc — so the merge budget drives
+  // the same branch after 0, 1, 2 and 3 genuine merges.
+  for (const Query& query : SmallCorpus()) {
+    OptimizerOptions options;
+    OptimizeResult original = OptimizeOriginal(query, options);
+    ASSERT_NE(original.plan, nullptr);
+    options.algorithm = Algorithm::kGoo;
+    for (int budget : {0, 1, 2, 3}) {
+      options.goo_merge_budget = budget;
+      OptimizeResult fallback = Optimize(query, options);
+      ExpectValid(fallback, query, "kGoo fallback");
+      EXPECT_EQ(fallback.stats.algorithm, Algorithm::kGoo);
+      EXPECT_TRUE(std::isfinite(fallback.plan->cost));
+      EXPECT_LE(fallback.plan->cost, original.plan->cost) << budget;
+      EXPECT_EQ(fallback.plan->rels, query.AllRelations());
+    }
+    // An unlimited budget is the production path: same result as default
+    // options (the hook must be inert at -1).
+    options.goo_merge_budget = -1;
+    OptimizeResult unlimited = Optimize(query, options);
+    OptimizerOptions plain;
+    plain.algorithm = Algorithm::kGoo;
+    OptimizeResult reference = Optimize(query, plain);
+    ASSERT_NE(unlimited.plan, nullptr);
+    ASSERT_NE(reference.plan, nullptr);
+    EXPECT_EQ(unlimited.plan->cost, reference.plan->cost);
+  }
+}
+
+TEST(LargeQueryGooFallback, FallbackPlanComputesCanonicalRows) {
+  // Exec depth for the fallback path: a partially-merged run that falls
+  // back must still compute the canonical rows.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    GeneratorOptions gen;
+    gen.num_relations = 4 + static_cast<int>(seed);
+    Query query = GenerateRandomQuery(gen, seed);
+    Database db = GenerateDatabase(query, seed * 17 + 3);
+    OptimizerOptions options;
+    options.algorithm = Algorithm::kGoo;
+    options.goo_merge_budget = 2;
+    OptimizeResult fallback = Optimize(query, options);
+    ASSERT_NE(fallback.plan, nullptr);
+    Table got = ExecutePlan(fallback.plan, query, db);
+    Table want = ExecuteCanonical(query, db);
+    EXPECT_TRUE(Table::BagEquals(got, want)) << "seed " << seed;
+  }
+}
+
 TEST(LargeQueryExec, SmokeAgainstBaselineRows) {
   // Row-level agreement with the kDphyp baseline on a few mixed-operator
   // queries; the 60-seed sweep is in large_query_slow_test.
