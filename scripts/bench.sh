@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Perf-trajectory tracking: runs the perf-relevant benches
 # (bench_fig16_runtime, bench_complexity, bench_table2_tpch,
-# bench_large_queries, bench_parallel) with JSON recording enabled and
-# folds the results into BENCH_results.json at the repo root.
+# bench_large_queries, bench_parallel, bench_plan_cache) with JSON
+# recording enabled and folds the results into BENCH_results.json at the
+# repo root. Folding merges by (suite, case, host): re-running replaces a
+# row's previous measurement from the same host instead of dropping the
+# rest of the section or accumulating duplicates.
 #
 # Usage: scripts/bench.sh [--baseline] [--label TEXT] [build-dir]
 #
@@ -33,7 +36,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target bench_fig16_runtime bench_complexity bench_table2_tpch \
-           bench_large_queries bench_parallel >/dev/null
+           bench_large_queries bench_parallel bench_plan_cache >/dev/null
 
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
@@ -54,13 +57,19 @@ EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_large_queries"
 echo
 echo "== bench_parallel (throughput scaling; bounded by physical cores) =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_parallel"
+echo
+echo "== bench_plan_cache (Zipf-stream hit rates; cache off/cold/warm) =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_plan_cache"
 
 # Fold the JSONL records into BENCH_results.json ({"baseline": run,
-# "current": run}) and print a baseline-vs-current comparison when both
-# sections are present.
+# "current": run}). Each record is stamped with the measuring host and
+# *merged* into the section: a new measurement replaces the existing
+# (suite, case, host) row, rows from other hosts/suites are preserved, and
+# repeated runs never accumulate duplicates. Prints a baseline-vs-current
+# comparison when both sections are present.
 SECTION="$SECTION" LABEL="$LABEL" QUERIES="$QUERIES" JSONL="$JSONL" \
 python3 - <<'EOF'
-import json, os, datetime
+import json, os, datetime, platform
 
 out_path = "BENCH_results.json"
 doc = {}
@@ -68,28 +77,50 @@ if os.path.exists(out_path):
     with open(out_path) as f:
         doc = json.load(f)
 
+host = platform.node() or "unknown"
 results = []
 with open(os.environ["JSONL"]) as f:
     for line in f:
         line = line.strip()
         if line:
-            results.append(json.loads(line))
+            rec = json.loads(line)
+            rec["host"] = host
+            results.append(rec)
+
+# Merge into the section keyed by (suite, case, host): same-key rows are
+# replaced (last occurrence of this run wins), everything else survives.
+# Rows from before host stamping existed adopt the folding host, so the
+# first re-run replaces them instead of leaving host-less duplicates.
+section = doc.get(os.environ["SECTION"], {})
+merged = {}
+for rec in section.get("results", []):
+    merged[(rec["suite"], rec["case"], rec.get("host", host))] = rec
+for rec in results:
+    merged[(rec["suite"], rec["case"], rec["host"])] = rec
 
 doc[os.environ["SECTION"]] = {
-    "label": os.environ["LABEL"] or os.environ["SECTION"],
+    "label": os.environ["LABEL"] or section.get("label") or os.environ["SECTION"],
     "date": datetime.date.today().isoformat(),
     "queries_per_size": int(os.environ["QUERIES"]),
-    "results": results,
+    "results": list(merged.values()),
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")
-print(f"wrote {out_path} [{os.environ['SECTION']}] ({len(results)} records)")
+print(f"wrote {out_path} [{os.environ['SECTION']}] "
+      f"({len(results)} new records from {host}, "
+      f"{len(merged)} total in section)")
 
 if "baseline" in doc and "current" in doc:
-    base = {(r["suite"], r["case"]): r for r in doc["baseline"]["results"]}
-    cur = {(r["suite"], r["case"]): r for r in doc["current"]["results"]}
-    print("\nbaseline -> current (median_ms):")
+    # Compare this host's rows only: sections can hold one row per
+    # (suite, case, host), and cross-host ratios measure machines, not
+    # code. Host-less rows predate stamping and are treated as local.
+    def by_case(section):
+        return {(r["suite"], r["case"]): r for r in section["results"]
+                if r.get("host", host) == host}
+    base = by_case(doc["baseline"])
+    cur = by_case(doc["current"])
+    print(f"\nbaseline -> current (median_ms, host {host}):")
     ratios = []
     for key in sorted(base.keys() & cur.keys()):
         b, c = base[key], cur[key]

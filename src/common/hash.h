@@ -1,9 +1,12 @@
-// The 64-bit mixer shared by hashing and RNG seeding.
+// The 64-bit mixer shared by hashing and RNG seeding, plus the byte-string
+// hash used for query fingerprints.
 
 #ifndef EADP_COMMON_HASH_H_
 #define EADP_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 namespace eadp {
 
@@ -15,6 +18,37 @@ inline constexpr uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two 64-bit hashes: mixes `h` before
+/// xoring in `v` so that HashCombine(a, b) != HashCombine(b, a) and chains
+/// of combines keep avalanching.
+inline constexpr uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return Mix64(h ^ Mix64(v));
+}
+
+/// Hash of an arbitrary byte string, seeded. Chained Mix64 over 8-byte
+/// little-endian chunks with a length-absorbing tail — not cryptographic,
+/// but well distributed and stable across platforms of the same
+/// endianness. Distinct seeds give effectively independent hash functions,
+/// which is how the query fingerprint derives its 128 bits.
+inline uint64_t HashBytes(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = Mix64(seed ^ (uint64_t{size} * 0x9e3779b97f4a7c15ull));
+  size_t n = size;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    h = HashCombine(h, chunk);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = HashCombine(h, tail);
+  }
+  return Mix64(h);
 }
 
 }  // namespace eadp

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "plangen/large_query.h"
+#include "plangen/plan_cache.h"
 
 namespace eadp {
 
@@ -93,6 +94,9 @@ BatchResult OptimizeBatch(std::span<const Query> queries,
   }
 
   batch.stats = AggregateStats(std::move(latencies), MsSince(start), threads);
+  for (const OptimizeResult& r : batch.results) {
+    if (r.stats.cache_hit) ++batch.stats.cache_hits;
+  }
   return batch;
 }
 
@@ -106,6 +110,15 @@ BatchResult OptimizeBatch(std::span<const Query> queries,
 OptimizeResult OptimizeAdaptiveConcurrent(const Query& query,
                                           const OptimizerOptions& options,
                                           ThreadPool* pool) {
+  if (options.plan_cache != nullptr) {
+    // Probe before racing: a hit saves both strategies, and the shared
+    // wrapper clears plan_cache so the fallback path below (which funnels
+    // into OptimizeAdaptive) cannot double-probe or double-insert.
+    return OptimizeThroughCache(
+        query, options, [pool](const Query& q, const OptimizerOptions& o) {
+          return OptimizeAdaptiveConcurrent(q, o, pool);
+        });
+  }
   if (pool == nullptr || pool->num_threads() < 2 ||
       query.NumRelations() <= options.adaptive_exact_relations) {
     return OptimizeAdaptive(query, options);

@@ -41,6 +41,10 @@ struct BatchStats {
   double p95_ms = 0;        ///< 95th-percentile per-query latency
   double max_ms = 0;        ///< slowest single query
   double total_optimize_ms = 0;  ///< sum of per-query latencies (~CPU time)
+  /// Queries served from OptimizerOptions::plan_cache (0 when no cache is
+  /// configured). Hit latencies are the probe times, so a warm cache pulls
+  /// p50 far below the planning latencies the misses pay.
+  int cache_hits = 0;
 };
 
 /// Result of one batch: per-query results in input order (each carrying its
@@ -61,6 +65,12 @@ struct BatchResult {
 /// *sequential* adaptive facade: with a full batch in flight the pool is
 /// already saturated, so racing strategies per query would only add queue
 /// pressure, not speed.
+///
+/// When `options.plan_cache` is set, every task probes/populates that
+/// shared cache concurrently (it is sharded and thread-safe); repeated
+/// query shapes within or across batches are then planned once and served
+/// from memory after — cost-identical to the cache-off run, pinned by
+/// plan_cache_concurrency_test.
 BatchResult OptimizeBatch(std::span<const Query> queries,
                           const OptimizerOptions& options, int num_threads);
 

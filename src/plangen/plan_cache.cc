@@ -1,0 +1,190 @@
+#include "plangen/plan_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <utility>
+
+namespace eadp {
+
+namespace {
+
+/// Extends a query fingerprint with every OptimizerOptions knob that
+/// steers planning, so one cache can serve mixed configurations without
+/// ever crossing them: the same query planned under kEaPrune and under a
+/// pruning ablation (or another idp_block_size, tolerance, ...) gets two
+/// distinct entries. plan_cache itself is deliberately excluded — the
+/// cache's identity must not depend on which cache is probed. Appends
+/// bytes only, through the same CanonicalWriter the query half uses (the
+/// two halves of a cache key must never desynchronize their encodings);
+/// the caller hashes the finished canonical form once.
+void FoldOptionsIntoFingerprint(const OptimizerOptions& options,
+                                QueryFingerprint* fp) {
+  // Tripwire: adding a field to OptimizerOptions changes its size and
+  // fails this assert. If the new field steers planning, fold it below
+  // (a missed knob would silently cross-serve plans between
+  // configurations); either way, update the expected size deliberately.
+  static_assert(sizeof(OptimizerOptions) == 48,
+                "OptimizerOptions changed: fold any new planning-relevant "
+                "knob into the cache key below, then update this size");
+  CanonicalWriter w(&fp->canonical);
+  w.U8(0xfe);  // options-block marker (query serializations start fields
+               // right after the version byte; this delimits the suffix)
+  w.U8(static_cast<uint8_t>(options.algorithm));
+  w.F64(options.h2_tolerance);
+  w.U8(options.builder.top_grouping_elimination ? 1 : 0);
+  w.U8(options.builder.track_fds ? 1 : 0);
+  w.U8(options.prune_without_keys ? 1 : 0);
+  w.U8(options.prune_without_cardinality ? 1 : 0);
+  w.U8(options.full_fd_dominance ? 1 : 0);
+  w.I32(options.adaptive_exact_relations);
+  w.I32(options.idp_block_size);
+  w.U8(static_cast<uint8_t>(options.idp_inner));
+  w.I32(options.goo_merge_budget);
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const PlanCacheOptions& options) {
+  size_t shards = std::bit_ceil(static_cast<size_t>(
+      std::max(options.num_shards, 1)));
+  shards_ = std::vector<Shard>(shards);
+  // Ceil-divide so the shard total never undercuts the requested capacity;
+  // at least one entry per shard so tiny capacities still cache.
+  shard_capacity_ = std::max<size_t>(
+      1, (std::max<size_t>(options.capacity, 1) + shards - 1) / shards);
+}
+
+size_t PlanCache::EntryBytes(const Entry& e) {
+  size_t n = sizeof(Entry) + e.fingerprint.canonical.size();
+  if (e.result.arena != nullptr) n += e.result.arena->bytes_used();
+  return n;
+}
+
+void PlanCache::Unlink(Shard& shard, std::list<Handle>::iterator pos) {
+  const Entry& entry = **pos;
+  shard.resident_bytes -= EntryBytes(entry);
+  auto chain_it = shard.index.find(entry.fingerprint.hash);
+  auto& chain = chain_it->second;
+  chain.erase(std::find(chain.begin(), chain.end(), pos));
+  if (chain.empty()) shard.index.erase(chain_it);
+  shard.lru.erase(pos);
+}
+
+PlanCache::Handle PlanCache::Lookup(const QueryFingerprint& fp) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto chain_it = shard.index.find(fp.hash);
+  if (chain_it != shard.index.end()) {
+    for (auto pos : chain_it->second) {
+      const Entry& entry = **pos;
+      // The load-bearing comparison: hash equality got us here, but only
+      // canonical-byte equality may serve the plan.
+      if (entry.fingerprint.hash2 == fp.hash2 &&
+          entry.fingerprint.Matches(fp)) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, pos);
+        ++shard.hits;
+        return *pos;
+      }
+    }
+  }
+  ++shard.misses;
+  return nullptr;
+}
+
+PlanCache::Handle PlanCache::Insert(QueryFingerprint fp,
+                                    OptimizeResult result) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto chain_it = shard.index.find(fp.hash);
+  if (chain_it != shard.index.end()) {
+    for (auto pos : chain_it->second) {
+      if ((*pos)->fingerprint.hash2 == fp.hash2 &&
+          (*pos)->fingerprint.Matches(fp)) {
+        // First writer wins; concurrent planners of one shape share its
+        // entry. Freshen recency — a duplicate insert is evidence of use.
+        shard.lru.splice(shard.lru.begin(), shard.lru, pos);
+        ++shard.duplicate_inserts;
+        return *pos;
+      }
+    }
+  }
+  Handle handle =
+      std::make_shared<Entry>(Entry{std::move(fp), std::move(result)});
+  shard.lru.push_front(handle);
+  shard.index[handle->fingerprint.hash].push_back(shard.lru.begin());
+  shard.resident_bytes += EntryBytes(*handle);
+  ++shard.inserts;
+  while (shard.lru.size() > shard_capacity_) {
+    Unlink(shard, std::prev(shard.lru.end()));
+    ++shard.evictions;
+  }
+  return handle;
+}
+
+void PlanCache::Invalidate() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.invalidations += shard.lru.size();
+    shard.index.clear();
+    shard.lru.clear();
+    shard.resident_bytes = 0;
+  }
+}
+
+PlanCacheStats PlanCache::Snapshot() const {
+  PlanCacheStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.inserts += shard.inserts;
+    stats.duplicate_inserts += shard.duplicate_inserts;
+    stats.evictions += shard.evictions;
+    stats.invalidations += shard.invalidations;
+    stats.entries += shard.lru.size();
+    stats.resident_bytes += shard.resident_bytes;
+  }
+  return stats;
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+OptimizeResult OptimizeThroughCache(
+    const Query& query, const OptimizerOptions& options,
+    const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&
+        plan_fresh) {
+  auto start = std::chrono::steady_clock::now();
+  QueryFingerprint fp = FingerprintQueryUnhashed(query);
+  FoldOptionsIntoFingerprint(options, &fp);
+  RehashFingerprint(&fp);
+  if (PlanCache::Handle hit = options.plan_cache->Lookup(fp)) {
+    // Copying the cached OptimizeResult copies its arena shared_ptr, so
+    // the served plan stays alive past eviction without the handle.
+    OptimizeResult result = hit->result;
+    result.stats.cache_hit = true;
+    result.stats.optimize_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+  }
+  OptimizerOptions uncached = options;
+  uncached.plan_cache = nullptr;
+  OptimizeResult result = plan_fresh(query, uncached);
+  // Unsatisfiable queries stay uncached: a null plan carries no arena to
+  // keep alive and costs nothing to rediscover.
+  if (result.plan != nullptr) {
+    options.plan_cache->Insert(std::move(fp), result);
+  }
+  return result;
+}
+
+}  // namespace eadp

@@ -1,0 +1,188 @@
+// Cross-query plan cache: fingerprint -> OptimizeResult memoization
+// *across* optimization runs.
+//
+// The per-run DP tables of the paper memoize subplans within one query;
+// under production traffic the same query shapes arrive over and over
+// (parameterized application queries, dashboard refreshes), and every
+// arrival re-pays the full DP/GOO/IDP cost. This cache closes that gap:
+// OptimizeAdaptive probes it with the canonical query fingerprint
+// (queries/fingerprint.h) and serves the memoized plan on a hit — turning
+// a multi-millisecond optimization into a microsecond-scale probe.
+//
+// Structure: N independent shards (striped locking), selected by the high
+// bits of the fingerprint hash. Each shard is an LRU list + a hash index
+// under one mutex, so concurrent probes from the batch planner's thread
+// pool contend only when they land on the same shard. Correctness on hit
+// never rests on the hash: the shard chain is scanned with the full
+// canonical-byte comparison (QueryFingerprint::Matches), so colliding
+// fingerprints coexist as separate entries and a collision can never
+// serve the wrong plan.
+//
+// Lifetime (extends the arena ownership rules of DESIGN.md §6): a cached
+// plan's nodes live in the PlanArena of the optimization run that built
+// it, and the cached OptimizeResult keeps the owning shared_ptr alive.
+// Lookups hand out refcounted handles (copies of that OptimizeResult), so
+// an entry evicted or invalidated *while a served plan is still in use* —
+// the eviction race — only drops the cache's reference; the plan and its
+// arena stay valid until the last handle dies. Entries are immutable
+// after insertion; first-writer-wins on duplicate inserts (any two
+// results for one fingerprint are cost-identical by determinism, so which
+// one wins is unobservable through costs).
+//
+// Invalidation: statistics changes rewrite the fingerprint, so stale
+// entries become unreachable rather than wrong. They still hold capacity
+// and arenas, which is what Invalidate() is for — serving layers call it
+// on catalog change (DDL, statistics refresh) to drop every entry at
+// once. See docs/DESIGN.md §10.
+
+#ifndef EADP_PLANGEN_PLAN_CACHE_H_
+#define EADP_PLANGEN_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "plangen/plangen.h"
+#include "queries/fingerprint.h"
+
+namespace eadp {
+
+struct PlanCacheOptions {
+  /// Maximum resident entries across all shards. Distributed evenly;
+  /// each shard holds at least one entry, so the effective total is
+  /// max(capacity, num_shards) rounded up to a multiple of the shard
+  /// count.
+  size_t capacity = 1024;
+  /// Lock stripes. Rounded up to a power of two; more shards mean less
+  /// contention under concurrent batch planning. 8 keeps two concurrent
+  /// probes on distinct mutexes 7 times out of 8, and a shard's critical
+  /// section is tiny (chain scan + list splice), so queueing behind the
+  /// eighth case costs less than the cache lines more stripes would touch.
+  int num_shards = 8;
+};
+
+/// Aggregate counters, readable at any time (Snapshot). hits/misses count
+/// Lookup outcomes; duplicate_inserts are Insert calls that lost the
+/// first-writer-wins race; evictions are capacity-driven drops;
+/// invalidations are entries dropped by Invalidate(). resident_bytes sums
+/// the arena payloads of resident entries — the memory the cache itself
+/// keeps alive (handles may keep evicted arenas alive beyond this).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t duplicate_inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t invalidations = 0;
+  size_t entries = 0;
+  size_t resident_bytes = 0;
+
+  double HitRate() const {
+    uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / probes;
+  }
+};
+
+class PlanCache {
+ public:
+  /// One immutable cached optimization. `result.arena` owns every node
+  /// `result.plan` points into; the entry's fingerprint is kept so chain
+  /// scans can compare canonical bytes without re-fingerprinting.
+  struct Entry {
+    QueryFingerprint fingerprint;
+    OptimizeResult result;
+  };
+  /// Refcounted view of an entry: valid (plan, arena and all) for as long
+  /// as the handle lives, regardless of eviction or invalidation.
+  using Handle = std::shared_ptr<const Entry>;
+
+  explicit PlanCache(const PlanCacheOptions& options = {});
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Probes for `fp`. On a hit the entry moves to the front of its
+  /// shard's LRU list and a handle is returned; null on miss. Hit
+  /// requires QueryFingerprint::Matches — full canonical equality.
+  Handle Lookup(const QueryFingerprint& fp);
+
+  /// Inserts `result` (which must carry the arena owning its plan) under
+  /// `fp`, evicting least-recently-used entries of the shard past its
+  /// capacity. If an entry with an equal fingerprint already exists the
+  /// existing entry is returned unchanged (first-writer-wins) — callers
+  /// racing to plan the same shape all end up sharing one entry.
+  Handle Insert(QueryFingerprint fp, OptimizeResult result);
+
+  /// Drops every entry (counted as invalidations). The serving layer's
+  /// hook for catalog changes: statistics updates already unreach stale
+  /// entries via the fingerprint, but only invalidation frees their
+  /// arenas. Outstanding handles remain valid.
+  void Invalidate();
+
+  /// Point-in-time aggregate over all shards.
+  PlanCacheStats Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const { return shard_capacity_ * shards_.size(); }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. Owns the entries (jointly with any
+    /// outstanding handles).
+    std::list<Handle> lru;
+    /// fingerprint.hash -> positions in `lru` with that hash. A vector
+    /// chain, because structurally different queries may share a hash
+    /// (that is the collision the canonical comparison exists for).
+    std::unordered_map<uint64_t, std::vector<std::list<Handle>::iterator>>
+        index;
+    // Counters, all guarded by mu.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t duplicate_inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    size_t resident_bytes = 0;
+  };
+
+  Shard& ShardFor(const QueryFingerprint& fp) {
+    // The hash's high half picks the shard (supporting up to 2^32
+    // stripes), low bits dominate the bucket placement within the
+    // shard's index: distinct bit ranges, so shard load stays
+    // independent of bucket placement.
+    return shards_[(fp.hash >> 32) & (shards_.size() - 1)];
+  }
+
+  /// Unlinks the entry at `pos` from `shard` (lru + index + byte
+  /// accounting). Caller holds shard.mu and accounts the drop reason.
+  static void Unlink(Shard& shard, std::list<Handle>::iterator pos);
+
+  static size_t EntryBytes(const Entry& e);
+
+  std::vector<Shard> shards_;
+  size_t shard_capacity_ = 0;
+};
+
+/// The probe/populate wrapper shared by every cache-aware facade entry
+/// point (OptimizeAdaptive, OptimizeAdaptiveConcurrent): fingerprints the
+/// query *and the planning-relevant OptimizerOptions knobs* (one cache
+/// can serve mixed configurations — the same query under different
+/// algorithms/ablations/knobs occupies distinct entries and is never
+/// cross-served), serves a hit (stats.cache_hit set, optimize_ms = probe
+/// time), or plans fresh via `plan_fresh` — called with plan_cache
+/// cleared so inner facade calls don't re-probe — and inserts any
+/// satisfiable result. Precondition: options.plan_cache != nullptr.
+OptimizeResult OptimizeThroughCache(
+    const Query& query, const OptimizerOptions& options,
+    const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&
+        plan_fresh);
+
+}  // namespace eadp
+
+#endif  // EADP_PLANGEN_PLAN_CACHE_H_

@@ -9,6 +9,7 @@
 #include "plangen/dp_combine.h"
 #include "plangen/dp_table.h"
 #include "plangen/large_query.h"
+#include "plangen/plan_cache.h"
 
 namespace eadp {
 
@@ -124,6 +125,9 @@ OptimizeResult Optimize(const Query& query, const OptimizerOptions& options) {
 
 OptimizeResult OptimizeAdaptive(const Query& query,
                                 const OptimizerOptions& options) {
+  if (options.plan_cache != nullptr) {
+    return OptimizeThroughCache(query, options, &OptimizeAdaptive);
+  }
   if (query.NumRelations() <= options.adaptive_exact_relations) {
     OptimizerOptions exact = options;
     if (!IsExhaustive(exact.algorithm)) exact.algorithm = Algorithm::kEaPrune;

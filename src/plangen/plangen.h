@@ -59,6 +59,8 @@
 
 namespace eadp {
 
+class PlanCache;
+
 enum class Algorithm { kDphyp, kEaAll, kEaPrune, kH1, kH2, kGoo, kIdp };
 
 const char* AlgorithmName(Algorithm a);
@@ -111,6 +113,21 @@ struct OptimizerOptions {
   /// through this cap instead: it funnels a genuinely partially-merged
   /// state through the very same branch.
   int goo_merge_budget = -1;
+
+  // ---- Cross-query plan cache (plangen/plan_cache.h) ----
+
+  /// When set, the facade entry points (OptimizeAdaptive, OptimizeBatch,
+  /// OptimizeAdaptiveConcurrent) probe this cache with the query's
+  /// canonical fingerprint — extended by the planning-relevant option
+  /// knobs, so mixed configurations safely share one cache — before
+  /// planning, and populate it after. Hits return the memoized plan
+  /// (cost-identical to a fresh run by determinism; pinned
+  /// differentially in plan_cache_test) with stats.cache_hit set and
+  /// optimize_ms covering only the probe. The cache is thread-safe;
+  /// batch planning shares one instance across all pool workers. Not
+  /// owned; must outlive the optimization calls. Unsatisfiable results
+  /// (null plan) are never cached.
+  PlanCache* plan_cache = nullptr;
 };
 
 struct OptimizeStats {
@@ -122,6 +139,10 @@ struct OptimizeStats {
   /// The strategy that actually produced the plan — what OptimizeAdaptive
   /// chose, including a fallback taken mid-flight (e.g. kIdp -> kGoo).
   Algorithm algorithm = Algorithm::kEaPrune;
+  /// True iff the result was served from OptimizerOptions::plan_cache; the
+  /// other counters then describe the run that originally built the plan,
+  /// while optimize_ms is the fingerprint+probe time of *this* call.
+  bool cache_hit = false;
 };
 
 struct OptimizeResult {

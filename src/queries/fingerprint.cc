@@ -1,0 +1,103 @@
+#include "queries/fingerprint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace eadp {
+
+namespace {
+
+void WriteAggs(CanonicalWriter& w, const AggregateVector& aggs) {
+  w.U32(static_cast<uint32_t>(aggs.size()));
+  for (const AggregateFunction& f : aggs) {
+    w.U8(static_cast<uint8_t>(f.kind));
+    w.I32(f.arg);
+    w.U8(f.distinct ? 1 : 0);
+    // Output labels name the result schema the query asked for; see the
+    // header for why they are fingerprinted (unlike relation names).
+    w.Str(f.output);
+  }
+}
+
+}  // namespace
+
+void RehashFingerprint(QueryFingerprint* fp) {
+  fp->hash = HashBytes(fp->canonical.data(), fp->canonical.size(),
+                       /*seed=*/0x243f6a8885a308d3ull);
+  fp->hash2 = HashBytes(fp->canonical.data(), fp->canonical.size(),
+                        /*seed=*/0x13198a2e03707344ull);
+}
+
+QueryFingerprint FingerprintQuery(const Query& query) {
+  QueryFingerprint fp = FingerprintQueryUnhashed(query);
+  RehashFingerprint(&fp);
+  return fp;
+}
+
+QueryFingerprint FingerprintQueryUnhashed(const Query& query) {
+  QueryFingerprint fp;
+  // Typical canonical forms are a few hundred bytes (one 100-relation
+  // clique reaches ~60 KiB through its n(n-1)/2 predicate equalities);
+  // reserving avoids the early doubling steps.
+  fp.canonical.reserve(256);
+  CanonicalWriter w(&fp.canonical);
+
+  w.U8(1);  // serialization version
+
+  // --- Catalog: statistics and key structure, no names. ---
+  const Catalog& catalog = query.catalog();
+  w.U32(static_cast<uint32_t>(catalog.num_relations()));
+  w.U32(static_cast<uint32_t>(catalog.num_attributes()));
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    const RelationDef& rel = catalog.relation(r);
+    w.F64(rel.cardinality);
+    w.U8(rel.duplicate_free ? 1 : 0);
+    w.Set(rel.attributes);
+    // Keys in declaration-order-insensitive form: the set of keys is what
+    // the key machinery consumes, not the order they were declared in.
+    std::vector<AttrSet> keys = rel.keys;
+    std::sort(keys.begin(), keys.end());
+    w.U32(static_cast<uint32_t>(keys.size()));
+    for (AttrSet key : keys) w.Set(key);
+  }
+  for (int a = 0; a < catalog.num_attributes(); ++a) {
+    const AttributeDef& attr = catalog.attribute(a);
+    w.I32(attr.relation);
+    w.F64(attr.distinct);
+  }
+
+  // --- Top grouping and aggregation vector. ---
+  w.Set(query.group_by());
+  WriteAggs(w, query.aggregates());
+  w.U32(static_cast<uint32_t>(query.final_divisions().size()));
+  for (const FinalDivision& div : query.final_divisions()) {
+    w.Str(div.output);
+    w.I32(div.numerator_slot);
+    w.I32(div.denominator_slot);
+  }
+
+  // --- Flattened operators: topology, kinds, predicates. ---
+  // left_rels/right_rels are the original subtree relation sets, which
+  // together with the flattening order encode the input tree's shape —
+  // exactly the structure the conflict detector derives its reorderability
+  // rules from.
+  w.U32(static_cast<uint32_t>(query.ops().size()));
+  for (const QueryOp& op : query.ops()) {
+    w.U8(static_cast<uint8_t>(op.kind));
+    w.F64(op.selectivity);
+    w.Set(op.left_rels);
+    w.Set(op.right_rels);
+    w.U32(static_cast<uint32_t>(op.predicate.equalities().size()));
+    for (const AttrEquality& eq : op.predicate.equalities()) {
+      w.I32(eq.left_attr);
+      w.I32(eq.right_attr);
+    }
+    WriteAggs(w, op.groupjoin_aggs);
+  }
+  return fp;
+}
+
+}  // namespace eadp

@@ -28,18 +28,26 @@
 namespace eadp {
 namespace {
 
-// Wall-clock assertions only hold on un-instrumented builds; sanitizers
-// slow the optimizer by an order of magnitude.
+// Wall-clock assertions only hold on optimized, un-instrumented builds:
+// sanitizers slow the optimizer by an order of magnitude, and -O0 (the
+// CI Debug matrix legs) by ~2x — enough to breach the 100 ms pin on the
+// denser topologies. The correctness half of every test still runs in
+// all configurations; only the timing expectation is gated.
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-constexpr bool kSanitizedBuild = true;
+constexpr bool kInstrumentedBuild = true;
 #elif defined(__has_feature)
 #if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-constexpr bool kSanitizedBuild = true;
+constexpr bool kInstrumentedBuild = true;
 #else
-constexpr bool kSanitizedBuild = false;
+constexpr bool kInstrumentedBuild = false;
 #endif
 #else
-constexpr bool kSanitizedBuild = false;
+constexpr bool kInstrumentedBuild = false;
+#endif
+#if defined(__OPTIMIZE__)
+constexpr bool kTimingPinned = !kInstrumentedBuild;
+#else
+constexpr bool kTimingPinned = false;  // -O0: Debug matrix legs
 #endif
 
 std::vector<QueryTopology> StructuredTopologies() {
@@ -186,7 +194,7 @@ TEST(LargeQueryFacade, HundredRelationQueriesOptimizeWithinBudget) {
     ExpectValid(r, query, TopologyName(t));
     EXPECT_TRUE(std::isfinite(r.plan->cost));
     EXPECT_EQ(r.plan->rels, query.AllRelations());
-    if (!kSanitizedBuild) {
+    if (kTimingPinned) {
       EXPECT_LT(r.stats.optimize_ms, 100) << TopologyName(t);
     }
   }
