@@ -1,0 +1,112 @@
+// Mutation-harness throughput: how fast the fuzzer's inner loop runs.
+//
+// Two measurements over a seeded pool of generator/TPC-H seeds:
+//   1. mutate: MutationEngine::Step chains (clone + operator + validity
+//      check + fingerprint), reported as mutants/sec — the cost of
+//      producing one checkable mutant.
+//   2. oracle: the full per-mutant oracle stack from tests/fuzz_util.h
+//      (all strategies + validator + exec cross-check + cache-warm
+//      probe), reported as mutants/sec — the end-to-end fuzz rate that
+//      sizes the CI budget (EADP_FUZZ_MUTANTS over a 10-minute box).
+//
+// Not part of the bench-regression gate: the oracle rate tracks the
+// optimizer strategies it sweeps, so it moves whenever they do; this
+// binary exists to recalibrate fuzz budgets after such changes.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "plangen/plan_cache.h"
+#include "queries/mutation.h"
+#include "tests/fuzz_util.h"
+
+using namespace eadp;
+
+namespace {
+
+std::vector<FuzzSeed> BenchSeedPool() {
+  std::vector<FuzzSeed> pool;
+  for (const char* name : {"ex", "q3", "q5"}) {
+    FuzzSeed s;
+    s.kind = "tpch";
+    s.tpch = name;
+    pool.push_back(s);
+  }
+  for (int n = 4; n <= 7; ++n) {
+    FuzzSeed s;
+    s.kind = "gen";
+    s.topology = QueryTopology::kRandomTree;
+    s.num_relations = n;
+    s.seed = 100 + static_cast<uint64_t>(n);
+    pool.push_back(s);
+  }
+  return pool;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int mutants = BenchQueries(argc, argv, 400);
+  const std::vector<FuzzSeed> pool = BenchSeedPool();
+  BenchJsonWriter json("mutation");
+
+  std::printf("bench_mutation: %d mutants per phase, pool of %zu seeds\n\n",
+              mutants, pool.size());
+
+  // Phase 1: pure mutation chains (no planning).
+  {
+    double t0 = NowMs();
+    int produced = 0;
+    for (int i = 0; produced < mutants; ++i) {
+      const FuzzSeed& seed = pool[static_cast<size_t>(i) % pool.size()];
+      MutationEngine engine(QuerySpec::FromQuery(MaterializeSeed(seed)),
+                            0xbe9c0 + static_cast<uint64_t>(i));
+      for (int s = 0; s < 4 && produced < mutants; ++s) {
+        if (engine.Step()) ++produced;
+      }
+    }
+    double ms = NowMs() - t0;
+    double rate = produced / (ms / 1000.0);
+    std::printf("  mutate : %8.1f mutants/sec  (%d mutants, %.1f ms)\n",
+                rate, produced, ms);
+    json.RecordValue("mutate_per_sec", rate);
+  }
+
+  // Phase 2: full oracle stack per mutant (the real fuzz inner loop).
+  {
+    PlanCache cache;
+    FuzzOracleOptions oracle;
+    oracle.cache = &cache;
+    double t0 = NowMs();
+    int checked = 0;
+    int failures = 0;
+    for (int i = 0; checked < mutants; ++i) {
+      const FuzzSeed& seed = pool[static_cast<size_t>(i) % pool.size()];
+      MutationEngine engine(QuerySpec::FromQuery(MaterializeSeed(seed)),
+                            0xface + static_cast<uint64_t>(i));
+      for (int s = 0; s < 2; ++s) engine.Step();
+      FuzzOracleReport report = CheckMutant(engine.spec().ToQuery(), oracle);
+      failures += static_cast<int>(report.failures.size());
+      ++checked;
+    }
+    double ms = NowMs() - t0;
+    double rate = checked / (ms / 1000.0);
+    std::printf("  oracle : %8.1f mutants/sec  (%d mutants, %.1f ms, %d failures)\n",
+                rate, checked, ms, failures);
+    json.RecordValue("oracle_per_sec", rate);
+    if (failures != 0) {
+      std::printf("\nFAIL: oracle divergences during bench — run scripts/fuzz.sh\n");
+      return 1;
+    }
+  }
+
+  return 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# Local entry point for the mutation fuzzer (ctest label "fuzz").
+#
+# Usage:
+#   scripts/fuzz.sh [build-dir]             run the fuzz sweeps
+#   scripts/fuzz.sh replay '<corpus-line>'  replay one (seed, chain) line
+#
+# Environment:
+#   EADP_FUZZ_MUTANTS    override the mutant budget (default self-scales:
+#                        600 sanitized, 1200 at -O0, 5000 optimized)
+#   EADP_FUZZ_REPRO_DIR  where minimized reproducers are written on
+#                        divergence (default: <build-dir>/fuzz-repro)
+#
+# On divergence the driver prints — and writes to EADP_FUZZ_REPRO_DIR —
+# minimized corpus lines of the form
+#   gen <topology> <n> <preset> <seed> : <op>:<subseed> ...
+# Replay one with:
+#   scripts/fuzz.sh replay 'gen star 5 default 4898 : swap-children:123'
+# and, once confirmed, fold it into tests/corpus/mutation.corpus so the
+# tier-1 replay test pins it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "replay" ]; then
+  [ -n "${2:-}" ] || { echo "usage: scripts/fuzz.sh replay '<corpus-line>'" >&2; exit 2; }
+  BUILD_DIR="${3:-build}"
+  cmake -B "$BUILD_DIR" -S .
+  cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target mutation_fuzz_test
+  EADP_FUZZ_REPLAY="$2" \
+    "$BUILD_DIR"/tests/mutation_fuzz_test --gtest_filter='MutationFuzz.ReplayFromEnv'
+  exit $?
+fi
+
+BUILD_DIR="${1:-build}"
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target mutation_fuzz_test
+REPRO_DIR="${EADP_FUZZ_REPRO_DIR:-$BUILD_DIR/fuzz-repro}"
+mkdir -p "$REPRO_DIR"
+cd "$BUILD_DIR"
+if EADP_FUZZ_REPRO_DIR="$REPRO_DIR" ctest -L fuzz --output-on-failure; then
+  echo "fuzz: clean sweep (budget ${EADP_FUZZ_MUTANTS:-default})"
+else
+  status=$?
+  echo ""
+  echo "fuzz: divergences found; minimized reproducers in $REPRO_DIR"
+  for f in "$REPRO_DIR"/*.corpus; do
+    [ -e "$f" ] || continue
+    grep -v '^#' "$f" | while IFS= read -r line; do
+      [ -n "$line" ] && echo "  scripts/fuzz.sh replay '$line'"
+    done
+  done
+  exit $status
+fi

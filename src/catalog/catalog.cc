@@ -37,6 +37,18 @@ void Catalog::DeclareKey(int rel, AttrSet key_attrs) {
   relations_[rel].duplicate_free = true;
 }
 
+void Catalog::SetCardinality(int r, double cardinality) {
+  assert(r >= 0 && r < num_relations());
+  assert(cardinality >= 1);
+  relations_[r].cardinality = cardinality;
+}
+
+void Catalog::SetDistinct(int a, double distinct) {
+  assert(a >= 0 && a < num_attributes());
+  assert(distinct >= 1);
+  attributes_[a].distinct = distinct;
+}
+
 RelSet Catalog::RelationsOf(AttrSet attrs) const {
   RelSet rels;
   for (int a : BitsOf(attrs)) rels.Add(attributes_[a].relation);

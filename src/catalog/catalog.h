@@ -49,6 +49,13 @@ class Catalog {
   /// the relation duplicate-free.
   void DeclareKey(int rel, AttrSet key_attrs);
 
+  /// Statistics mutators (used by the workload fuzzer to perturb base
+  /// statistics in place). Values must be finite and >= 1; consistency
+  /// between a key attribute's distinct count and its relation's
+  /// cardinality is the caller's responsibility.
+  void SetCardinality(int r, double cardinality);
+  void SetDistinct(int a, double distinct);
+
   int num_relations() const { return static_cast<int>(relations_.size()); }
   int num_attributes() const { return static_cast<int>(attributes_.size()); }
 

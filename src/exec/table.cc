@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace eadp {
@@ -84,6 +85,17 @@ bool Table::BagEquals(const Table& a, const Table& b) {
     }
   }
   return true;
+}
+
+uint64_t Table::ContentHash() const {
+  uint64_t h = Mix64(columns_.size());
+  for (const std::string& c : columns_) {
+    h = HashCombine(h, HashBytes(c.data(), c.size(), 0x7ab1e5));
+  }
+  for (const Row& row : SortedRows()) {
+    for (const Value& v : row) h = HashCombine(h, v.Hash());
+  }
+  return h;
 }
 
 std::string Table::ToString(size_t max_rows) const {

@@ -54,6 +54,12 @@ class Table {
   /// `b` are permuted to match), same multiset of rows under GroupEquals.
   static bool BagEquals(const Table& a, const Table& b);
 
+  /// Order-insensitive digest of schema + row bag (canonically sorted rows
+  /// hashed with Value::Hash). Equal tables digest equally regardless of
+  /// row order; used by the fuzz driver to summarize oracle results in
+  /// divergence reports without dumping whole tables.
+  uint64_t ContentHash() const;
+
   /// Renders an aligned ASCII table (for examples and error messages).
   std::string ToString(size_t max_rows = 50) const;
 

@@ -157,14 +157,20 @@ size_t PlanCache::size() const {
   return n;
 }
 
+QueryFingerprint PlanCacheKey(const Query& query,
+                              const OptimizerOptions& options) {
+  QueryFingerprint fp = FingerprintQueryUnhashed(query);
+  FoldOptionsIntoFingerprint(options, &fp);
+  RehashFingerprint(&fp);
+  return fp;
+}
+
 OptimizeResult OptimizeThroughCache(
     const Query& query, const OptimizerOptions& options,
     const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&
         plan_fresh) {
   auto start = std::chrono::steady_clock::now();
-  QueryFingerprint fp = FingerprintQueryUnhashed(query);
-  FoldOptionsIntoFingerprint(options, &fp);
-  RehashFingerprint(&fp);
+  QueryFingerprint fp = PlanCacheKey(query, options);
   if (PlanCache::Handle hit = options.plan_cache->Lookup(fp)) {
     // Copying the cached OptimizeResult copies its arena shared_ptr, so
     // the served plan stays alive past eviction without the handle.

@@ -169,6 +169,14 @@ class PlanCache {
   size_t shard_capacity_ = 0;
 };
 
+/// The exact fingerprint OptimizeThroughCache keys its probes with: the
+/// canonical query serialization plus the planning-relevant
+/// OptimizerOptions knobs, hashed once. Exposed so test drivers (the
+/// mutation fuzzer's cache-cross-serving oracle) can probe and reason
+/// about the cache with the production key rather than re-deriving it.
+QueryFingerprint PlanCacheKey(const Query& query,
+                              const OptimizerOptions& options);
+
 /// The probe/populate wrapper shared by every cache-aware facade entry
 /// point (OptimizeAdaptive, OptimizeAdaptiveConcurrent): fingerprints the
 /// query *and the planning-relevant OptimizerOptions knobs* (one cache

@@ -1,0 +1,822 @@
+#include "queries/mutation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.h"
+#include "queries/fingerprint.h"
+#include "queries/tpch.h"
+
+namespace eadp {
+
+namespace {
+
+/// Relations whose attributes reach the top of `node`'s subtree (right
+/// subtrees of semi/anti/group joins are hidden above the operator). Same
+/// rule Query::FromTree applies to the flattened form.
+RelSet VisibleRels(const OpTreeNode& node) {
+  if (node.is_leaf) return RelSet::Single(node.relation);
+  RelSet left = VisibleRels(*node.left);
+  if (LeftOnlyOutput(node.kind)) return left;
+  return left.Union(VisibleRels(*node.right));
+}
+
+void CollectInternal(OpTreeNode* node, std::vector<OpTreeNode*>* out) {
+  if (node == nullptr || node->is_leaf) return;
+  out->push_back(node);
+  CollectInternal(node->left.get(), out);
+  CollectInternal(node->right.get(), out);
+}
+
+/// Every owning slot holding an internal node, root slot included —
+/// rotations replace the subtree a slot owns.
+void CollectInternalSlots(std::unique_ptr<OpTreeNode>* slot,
+                          std::vector<std::unique_ptr<OpTreeNode>*>* out) {
+  if (*slot == nullptr || (*slot)->is_leaf) return;
+  out->push_back(slot);
+  CollectInternalSlots(&(*slot)->left, out);
+  CollectInternalSlots(&(*slot)->right, out);
+}
+
+int PickAttr(AttrSet attrs, Rng* rng) {
+  std::vector<int> members;
+  for (int a : BitsOf(attrs)) members.push_back(a);
+  if (members.empty()) return -1;
+  return members[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(members.size()) - 1))];
+}
+
+double LogUniform(Rng* rng, double lo, double hi) {
+  return std::exp(rng->UniformDouble(std::log(lo), std::log(hi)));
+}
+
+/// Re-orients every equality so that left_attr comes from the left
+/// subtree's visible relations and right_attr from the right's — the
+/// convention the generator establishes and CheckSpecValid enforces.
+/// Structural mutations (rotations, child swaps) break the orientation;
+/// this repairs it where possible. False when some equality references an
+/// attribute no longer available on either side (the mutation must then
+/// be rejected).
+bool NormalizePredicates(const Catalog& catalog, OpTreeNode* node) {
+  if (node == nullptr || node->is_leaf) return true;
+  if (!NormalizePredicates(catalog, node->left.get())) return false;
+  if (!NormalizePredicates(catalog, node->right.get())) return false;
+  AttrSet left = catalog.AttributesOf(VisibleRels(*node->left));
+  AttrSet right = catalog.AttributesOf(VisibleRels(*node->right));
+  std::vector<AttrEquality> eqs = node->predicate.equalities();
+  for (AttrEquality& eq : eqs) {
+    if (eq.left_attr < 0 || eq.right_attr < 0) return false;
+    if (left.Contains(eq.left_attr) && right.Contains(eq.right_attr)) continue;
+    if (left.Contains(eq.right_attr) && right.Contains(eq.left_attr)) {
+      std::swap(eq.left_attr, eq.right_attr);
+      continue;
+    }
+    return false;
+  }
+  node->predicate = JoinPredicate(std::move(eqs));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Operator implementations. Each edits the spec freely; ApplyMutation owns
+// the clone-validate-or-discard protocol, so rejection here just means
+// returning false at any point.
+// ---------------------------------------------------------------------------
+
+OpTreeNode* PickInternal(QuerySpec* spec, Rng* rng,
+                         bool (*candidate)(const OpTreeNode&)) {
+  std::vector<OpTreeNode*> nodes;
+  CollectInternal(spec->root.get(), &nodes);
+  std::vector<OpTreeNode*> matching;
+  for (OpTreeNode* n : nodes) {
+    if (candidate(*n)) matching.push_back(n);
+  }
+  if (matching.empty()) return nullptr;
+  return matching[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(matching.size()) - 1))];
+}
+
+bool SwapJoinKind(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node = PickInternal(spec, rng, [](const OpTreeNode& n) {
+    return n.kind == OpKind::kJoin || n.kind == OpKind::kLeftOuter ||
+           n.kind == OpKind::kFullOuter;
+  });
+  if (node == nullptr) return false;
+  OpKind all[3] = {OpKind::kJoin, OpKind::kLeftOuter, OpKind::kFullOuter};
+  OpKind others[2];
+  int k = 0;
+  for (OpKind kind : all) {
+    if (kind != node->kind) others[k++] = kind;
+  }
+  node->kind = others[rng->UniformInt(0, 1)];
+  return true;
+}
+
+bool ToggleSemiAnti(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node = PickInternal(spec, rng, [](const OpTreeNode& n) {
+    return n.kind == OpKind::kLeftSemi || n.kind == OpKind::kLeftAnti;
+  });
+  if (node == nullptr) return false;
+  node->kind = node->kind == OpKind::kLeftSemi ? OpKind::kLeftAnti
+                                               : OpKind::kLeftSemi;
+  return true;
+}
+
+bool ToggleGroupJoin(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node = PickInternal(spec, rng, [](const OpTreeNode& n) {
+    return n.kind == OpKind::kJoin || n.kind == OpKind::kGroupJoin;
+  });
+  if (node == nullptr) return false;
+  if (node->kind == OpKind::kGroupJoin) {
+    node->kind = OpKind::kJoin;
+    node->groupjoin_aggs.clear();
+    return true;
+  }
+  node->kind = OpKind::kGroupJoin;
+  AggregateFunction cnt;
+  cnt.kind = AggKind::kCountStar;
+  node->groupjoin_aggs.push_back(cnt);
+  int arg = PickAttr(
+      spec->catalog.AttributesOf(VisibleRels(*node->right)), rng);
+  if (arg >= 0) {
+    AggregateFunction sum;
+    sum.kind = AggKind::kSum;
+    sum.arg = arg;
+    node->groupjoin_aggs.push_back(sum);
+  }
+  return true;
+}
+
+bool PerturbSelectivity(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node =
+      PickInternal(spec, rng, [](const OpTreeNode&) { return true; });
+  if (node == nullptr) return false;
+  double factor = LogUniform(rng, 0.2, 5.0);
+  double perturbed =
+      std::clamp(node->selectivity * factor, 1e-12, 1.0);
+  if (perturbed == node->selectivity) return false;  // clamped into place
+  node->selectivity = perturbed;
+  return true;
+}
+
+bool PerturbCardinality(QuerySpec* spec, Rng* rng) {
+  int r = static_cast<int>(
+      rng->UniformInt(0, spec->catalog.num_relations() - 1));
+  const RelationDef& rel = spec->catalog.relation(r);
+  double factor = LogUniform(rng, 0.2, 5.0);
+  double card = std::max(2.0, std::floor(rel.cardinality * factor));
+  if (card == rel.cardinality) return false;
+  // Keep the statistics internally consistent: no attribute exceeds the
+  // new cardinality in distinct values, and key attributes keep their
+  // distinct count equal to it (a key has one row per value).
+  AttrSet key_attrs;
+  for (const AttrSet& key : rel.keys) key_attrs.UnionWith(key);
+  spec->catalog.SetCardinality(r, card);
+  for (int a : BitsOf(rel.attributes)) {
+    double distinct = key_attrs.Contains(a)
+                          ? card
+                          : std::min(spec->catalog.DistinctOf(a), card);
+    spec->catalog.SetDistinct(a, distinct);
+  }
+  return true;
+}
+
+bool AddGroupBy(QuerySpec* spec, Rng* rng) {
+  AttrSet visible = spec->catalog.AttributesOf(VisibleRels(*spec->root));
+  int attr = PickAttr(visible.Minus(spec->group_by), rng);
+  if (attr < 0) return false;
+  spec->group_by.Add(attr);
+  return true;
+}
+
+bool DropGroupBy(QuerySpec* spec, Rng* rng) {
+  if (spec->group_by.Count() < 2) return false;
+  int attr = PickAttr(spec->group_by, rng);
+  spec->group_by.Remove(attr);
+  return true;
+}
+
+bool AddAggregate(QuerySpec* spec, Rng* rng) {
+  int arg = PickAttr(spec->catalog.AttributesOf(VisibleRels(*spec->root)),
+                     rng);
+  if (arg < 0) return false;
+  AggregateFunction f;
+  f.arg = arg;
+  switch (rng->UniformInt(0, 5)) {
+    case 0:
+      f.kind = AggKind::kSum;
+      break;
+    case 1:
+      f.kind = AggKind::kMin;
+      break;
+    case 2:
+      f.kind = AggKind::kMax;
+      break;
+    case 3:
+      f.kind = AggKind::kCount;
+      break;
+    case 4:
+      f.kind = AggKind::kCount;
+      f.distinct = true;  // non-decomposable: exercises Valid rejections
+      break;
+    default:
+      f.kind = AggKind::kAvg;  // canonicalized into sum/countNN + division
+      break;
+  }
+  // A fresh output label: part of the result schema, so it must not
+  // collide with existing outputs (or their "$sum"/"$cnt" avg halves).
+  for (int i = static_cast<int>(spec->aggregates.size());; ++i) {
+    std::string name = StrFormat("mz%d", i);
+    bool taken = false;
+    for (const AggregateFunction& g : spec->aggregates) {
+      if (g.output == name) taken = true;
+    }
+    if (!taken) {
+      f.output = name;
+      break;
+    }
+  }
+  spec->aggregates.push_back(std::move(f));
+  return true;
+}
+
+bool DropAggregate(QuerySpec* spec, Rng* rng) {
+  if (spec->aggregates.size() < 2) return false;
+  size_t idx = static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(spec->aggregates.size()) - 1));
+  spec->aggregates.erase(spec->aggregates.begin() +
+                         static_cast<ptrdiff_t>(idx));
+  return true;
+}
+
+bool SwapChildren(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node = PickInternal(spec, rng, [](const OpTreeNode& n) {
+    return IsCommutative(n.kind);
+  });
+  if (node == nullptr) return false;
+  std::swap(node->left, node->right);
+  return NormalizePredicates(spec->catalog, spec->root.get());
+}
+
+bool RotateSubtree(QuerySpec* spec, Rng* rng) {
+  std::vector<std::unique_ptr<OpTreeNode>*> slots;
+  CollectInternalSlots(&spec->root, &slots);
+  std::vector<std::unique_ptr<OpTreeNode>*> candidates;
+  for (auto* slot : slots) {
+    if (!(*slot)->left->is_leaf || !(*slot)->right->is_leaf) {
+      candidates.push_back(slot);
+    }
+  }
+  if (candidates.empty()) return false;
+  std::unique_ptr<OpTreeNode>* slot = candidates[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+  OpTreeNode* p = slot->get();
+  bool can_right = !p->left->is_leaf;   // P(L(A,B),C) -> L(A, P(B,C))
+  bool can_left = !p->right->is_leaf;   // P(A, R(B,C)) -> R(P(A,B), C)
+  bool rotate_right =
+      can_right && (!can_left || rng->UniformInt(0, 1) == 0);
+  std::unique_ptr<OpTreeNode> parent = std::move(*slot);
+  if (rotate_right) {
+    std::unique_ptr<OpTreeNode> pivot = std::move(parent->left);
+    parent->left = std::move(pivot->right);
+    pivot->right = std::move(parent);
+    *slot = std::move(pivot);
+  } else {
+    std::unique_ptr<OpTreeNode> pivot = std::move(parent->right);
+    parent->right = std::move(pivot->left);
+    pivot->left = std::move(parent);
+    *slot = std::move(pivot);
+  }
+  // The moved predicates may now reference attributes outside their new
+  // subtrees; repair orientations, reject irreparable rotations.
+  return NormalizePredicates(spec->catalog, spec->root.get());
+}
+
+bool ConjoinPredicate(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node =
+      PickInternal(spec, rng, [](const OpTreeNode&) { return true; });
+  if (node == nullptr) return false;
+  AttrSet left = spec->catalog.AttributesOf(VisibleRels(*node->left));
+  AttrSet right = spec->catalog.AttributesOf(VisibleRels(*node->right));
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    int a = PickAttr(left, rng);
+    int b = PickAttr(right, rng);
+    if (a < 0 || b < 0) return false;
+    bool duplicate = false;
+    for (const AttrEquality& eq : node->predicate.equalities()) {
+      if (eq.left_attr == a && eq.right_attr == b) duplicate = true;
+    }
+    if (duplicate) continue;
+    node->predicate.AddEquality(a, b);
+    // Selectivity of the extra equality, generator-style: jitter over the
+    // larger distinct count keeps the estimate consistent with the
+    // declared statistics.
+    double d = std::max(spec->catalog.DistinctOf(a),
+                        spec->catalog.DistinctOf(b));
+    node->selectivity = std::clamp(
+        node->selectivity * LogUniform(rng, 0.3, 1.0) / d, 1e-12, 1.0);
+    return true;
+  }
+  return false;
+}
+
+bool DropPredicate(QuerySpec* spec, Rng* rng) {
+  OpTreeNode* node = PickInternal(spec, rng, [](const OpTreeNode& n) {
+    return n.predicate.equalities().size() >= 2;
+  });
+  if (node == nullptr) return false;
+  std::vector<AttrEquality> eqs = node->predicate.equalities();
+  size_t idx = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(eqs.size()) - 1));
+  eqs.erase(eqs.begin() + static_cast<ptrdiff_t>(idx));
+  node->predicate = JoinPredicate(std::move(eqs));
+  // Fewer conjuncts retain more rows.
+  node->selectivity =
+      std::clamp(node->selectivity * LogUniform(rng, 2.0, 50.0), 1e-12, 1.0);
+  return true;
+}
+
+bool ApplyImpl(MutationOp op, QuerySpec* spec, Rng* rng) {
+  switch (op) {
+    case MutationOp::kIdentity:
+      return true;
+    case MutationOp::kSwapJoinKind:
+      return SwapJoinKind(spec, rng);
+    case MutationOp::kToggleSemiAnti:
+      return ToggleSemiAnti(spec, rng);
+    case MutationOp::kToggleGroupJoin:
+      return ToggleGroupJoin(spec, rng);
+    case MutationOp::kPerturbSelectivity:
+      return PerturbSelectivity(spec, rng);
+    case MutationOp::kPerturbCardinality:
+      return PerturbCardinality(spec, rng);
+    case MutationOp::kAddGroupBy:
+      return AddGroupBy(spec, rng);
+    case MutationOp::kDropGroupBy:
+      return DropGroupBy(spec, rng);
+    case MutationOp::kAddAggregate:
+      return AddAggregate(spec, rng);
+    case MutationOp::kDropAggregate:
+      return DropAggregate(spec, rng);
+    case MutationOp::kSwapChildren:
+      return SwapChildren(spec, rng);
+    case MutationOp::kRotateSubtree:
+      return RotateSubtree(spec, rng);
+    case MutationOp::kConjoinPredicate:
+      return ConjoinPredicate(spec, rng);
+    case MutationOp::kDropPredicate:
+      return DropPredicate(spec, rng);
+  }
+  return false;
+}
+
+void CheckLeafCoverage(const OpTreeNode& node, std::vector<int>* counts,
+                       std::vector<std::string>* violations) {
+  if (node.is_leaf) {
+    if (node.relation < 0 ||
+        node.relation >= static_cast<int>(counts->size())) {
+      violations->push_back(
+          StrFormat("leaf references unknown relation %d", node.relation));
+      return;
+    }
+    ++(*counts)[static_cast<size_t>(node.relation)];
+    return;
+  }
+  if (node.left == nullptr || node.right == nullptr) {
+    violations->push_back("internal node with a missing child");
+    return;
+  }
+  CheckLeafCoverage(*node.left, counts, violations);
+  CheckLeafCoverage(*node.right, counts, violations);
+}
+
+void CheckOperators(const Catalog& catalog, const OpTreeNode& node,
+                    std::vector<std::string>* violations) {
+  if (node.is_leaf) return;
+  CheckOperators(catalog, *node.left, violations);
+  CheckOperators(catalog, *node.right, violations);
+
+  AttrSet left = catalog.AttributesOf(VisibleRels(*node.left));
+  AttrSet right = catalog.AttributesOf(VisibleRels(*node.right));
+  if (node.predicate.empty()) {
+    violations->push_back(StrFormat("%s without a predicate",
+                                    OpKindName(node.kind)));
+  }
+  for (const AttrEquality& eq : node.predicate.equalities()) {
+    // Orientation is free (the TPC-H skeletons write some equalities
+    // "right = left"); what must hold is that the two attributes come
+    // from opposite subtrees and are visible there.
+    bool in_range = eq.left_attr >= 0 &&
+                    eq.left_attr < catalog.num_attributes() &&
+                    eq.right_attr >= 0 &&
+                    eq.right_attr < catalog.num_attributes();
+    bool pairs_subtrees =
+        in_range &&
+        ((left.Contains(eq.left_attr) && right.Contains(eq.right_attr)) ||
+         (left.Contains(eq.right_attr) && right.Contains(eq.left_attr)));
+    if (!pairs_subtrees) {
+      violations->push_back(StrFormat(
+          "predicate equality %d = %d does not pair a left-visible with a "
+          "right-visible attribute",
+          eq.left_attr, eq.right_attr));
+    }
+  }
+  if (!std::isfinite(node.selectivity) || node.selectivity <= 0 ||
+      node.selectivity > 1) {
+    violations->push_back(
+        StrFormat("selectivity %g outside (0, 1]", node.selectivity));
+  }
+  if (node.kind == OpKind::kGroupJoin) {
+    if (node.groupjoin_aggs.empty()) {
+      violations->push_back("groupjoin without aggregates");
+    }
+    for (const AggregateFunction& f : node.groupjoin_aggs) {
+      if (f.kind == AggKind::kCountStar) continue;
+      if (f.arg < 0 || f.arg >= catalog.num_attributes() ||
+          !right.Contains(f.arg)) {
+        violations->push_back(StrFormat(
+            "groupjoin aggregate argument %d not from the right subtree",
+            f.arg));
+      }
+    }
+  } else if (!node.groupjoin_aggs.empty()) {
+    violations->push_back(
+        StrFormat("%s carries groupjoin aggregates", OpKindName(node.kind)));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<OpTreeNode> CloneTree(const OpTreeNode& node) {
+  auto copy = std::make_unique<OpTreeNode>();
+  copy->is_leaf = node.is_leaf;
+  copy->relation = node.relation;
+  copy->kind = node.kind;
+  copy->predicate = node.predicate;
+  copy->selectivity = node.selectivity;
+  copy->groupjoin_aggs = node.groupjoin_aggs;
+  if (node.left != nullptr) copy->left = CloneTree(*node.left);
+  if (node.right != nullptr) copy->right = CloneTree(*node.right);
+  return copy;
+}
+
+QuerySpec QuerySpec::Clone() const {
+  QuerySpec copy;
+  copy.catalog = catalog;
+  copy.root = root == nullptr ? nullptr : CloneTree(*root);
+  copy.group_by = group_by;
+  copy.aggregates = aggregates;
+  return copy;
+}
+
+Query QuerySpec::ToQuery() const {
+  Query q = Query::FromTree(catalog, CloneTree(*root), group_by, aggregates);
+  q.Canonicalize();
+  return q;
+}
+
+QuerySpec QuerySpec::FromQuery(const Query& query) {
+  assert(query.root() != nullptr);
+  QuerySpec spec;
+  spec.catalog = query.catalog();
+  spec.root = CloneTree(*query.root());
+  spec.group_by = query.group_by();
+  // Fold the avg canonicalization back: every FinalDivision marks a
+  // sum/countNN pair that was one avg slot. Reconstructing the kAvg keeps
+  // the spec at the pre-canonical level, so ToQuery's Canonicalize re-splits
+  // identically and the no-mutation round trip is fingerprint-exact —
+  // without this, mutants of avg-bearing seeds (TPC-H Q1) would silently
+  // drop the reconstitution and change the result schema.
+  std::vector<int> numerator_of(query.aggregates().size(), -1);
+  for (size_t d = 0; d < query.final_divisions().size(); ++d) {
+    numerator_of[static_cast<size_t>(
+        query.final_divisions()[d].numerator_slot)] = static_cast<int>(d);
+  }
+  for (size_t i = 0; i < query.aggregates().size(); ++i) {
+    if (numerator_of[i] >= 0) {
+      const FinalDivision& div =
+          query.final_divisions()[static_cast<size_t>(numerator_of[i])];
+      AggregateFunction avg;
+      avg.output = div.output;
+      avg.kind = AggKind::kAvg;
+      avg.arg = query.aggregates()[i].arg;
+      spec.aggregates.push_back(std::move(avg));
+      assert(div.denominator_slot == static_cast<int>(i) + 1);
+      ++i;  // skip the countNN half
+      continue;
+    }
+    spec.aggregates.push_back(query.aggregates()[i]);
+  }
+  return spec;
+}
+
+const char* MutationOpName(MutationOp op) {
+  switch (op) {
+    case MutationOp::kIdentity:
+      return "identity";
+    case MutationOp::kSwapJoinKind:
+      return "swap-join-kind";
+    case MutationOp::kToggleSemiAnti:
+      return "toggle-semi-anti";
+    case MutationOp::kToggleGroupJoin:
+      return "toggle-groupjoin";
+    case MutationOp::kPerturbSelectivity:
+      return "perturb-selectivity";
+    case MutationOp::kPerturbCardinality:
+      return "perturb-cardinality";
+    case MutationOp::kAddGroupBy:
+      return "add-groupby";
+    case MutationOp::kDropGroupBy:
+      return "drop-groupby";
+    case MutationOp::kAddAggregate:
+      return "add-aggregate";
+    case MutationOp::kDropAggregate:
+      return "drop-aggregate";
+    case MutationOp::kSwapChildren:
+      return "swap-children";
+    case MutationOp::kRotateSubtree:
+      return "rotate-subtree";
+    case MutationOp::kConjoinPredicate:
+      return "conjoin-predicate";
+    case MutationOp::kDropPredicate:
+      return "drop-predicate";
+  }
+  return "?";
+}
+
+bool ParseMutationOp(const std::string& name, MutationOp* op) {
+  for (MutationOp candidate : AllMutationOps()) {
+    if (name == MutationOpName(candidate)) {
+      *op = candidate;
+      return true;
+    }
+  }
+  if (name == MutationOpName(MutationOp::kIdentity)) {
+    *op = MutationOp::kIdentity;
+    return true;
+  }
+  return false;
+}
+
+const std::vector<MutationOp>& AllMutationOps() {
+  static const std::vector<MutationOp> ops = {
+      MutationOp::kSwapJoinKind,      MutationOp::kToggleSemiAnti,
+      MutationOp::kToggleGroupJoin,   MutationOp::kPerturbSelectivity,
+      MutationOp::kPerturbCardinality, MutationOp::kAddGroupBy,
+      MutationOp::kDropGroupBy,       MutationOp::kAddAggregate,
+      MutationOp::kDropAggregate,     MutationOp::kSwapChildren,
+      MutationOp::kRotateSubtree,     MutationOp::kConjoinPredicate,
+      MutationOp::kDropPredicate,
+  };
+  return ops;
+}
+
+std::vector<std::string> CheckSpecValid(const QuerySpec& spec) {
+  std::vector<std::string> violations;
+  const Catalog& catalog = spec.catalog;
+  if (spec.root == nullptr) {
+    violations.push_back("no operator tree");
+    return violations;
+  }
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    double card = catalog.relation(r).cardinality;
+    if (!std::isfinite(card) || card < 1) {
+      violations.push_back(
+          StrFormat("relation %d cardinality %g not finite/positive", r,
+                    card));
+    }
+  }
+  for (int a = 0; a < catalog.num_attributes(); ++a) {
+    double distinct = catalog.DistinctOf(a);
+    if (!std::isfinite(distinct) || distinct < 1) {
+      violations.push_back(StrFormat(
+          "attribute %d distinct count %g not finite/positive", a, distinct));
+    }
+  }
+
+  std::vector<int> counts(static_cast<size_t>(catalog.num_relations()), 0);
+  CheckLeafCoverage(*spec.root, &counts, &violations);
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    if (counts[static_cast<size_t>(r)] != 1) {
+      violations.push_back(StrFormat("relation %d appears %d times as a leaf",
+                                     r, counts[static_cast<size_t>(r)]));
+    }
+  }
+  CheckOperators(catalog, *spec.root, &violations);
+
+  AttrSet visible = catalog.AttributesOf(VisibleRels(*spec.root));
+  if (spec.group_by.empty()) {
+    violations.push_back("empty grouping attribute set");
+  }
+  if (!spec.group_by.IsSubsetOf(visible)) {
+    violations.push_back("grouping attribute not visible at the root");
+  }
+  if (spec.aggregates.empty()) {
+    violations.push_back("empty aggregation vector");
+  }
+  for (const AggregateFunction& f : spec.aggregates) {
+    if (f.kind == AggKind::kCountStar) {
+      if (f.arg != -1) violations.push_back("count(*) with an argument");
+      continue;
+    }
+    if (f.arg < 0 || f.arg >= catalog.num_attributes() ||
+        !visible.Contains(f.arg)) {
+      violations.push_back(StrFormat(
+          "aggregate argument %d not visible at the root", f.arg));
+    }
+    if (f.kind == AggKind::kAvg && f.distinct) {
+      violations.push_back("avg(distinct) is not supported");
+    }
+  }
+  return violations;
+}
+
+bool ApplyMutation(MutationOp op, QuerySpec* spec, Rng* rng) {
+  if (op == MutationOp::kIdentity) return true;
+  QuerySpec mutated = spec->Clone();
+  if (!ApplyImpl(op, &mutated, rng)) return false;
+  if (!CheckSpecValid(mutated).empty()) return false;
+  // The fingerprint-moving guarantee, enforced rather than assumed: a
+  // "mutation" that lands on a structurally identical query (possible in
+  // principle for future operators, impossible to debug downstream when a
+  // cache test assumes distinctness) counts as rejected.
+  if (FingerprintQuery(mutated.ToQuery()).canonical ==
+      FingerprintQuery(spec->ToQuery()).canonical) {
+    return false;
+  }
+  *spec = std::move(mutated);
+  return true;
+}
+
+MutationEngine::MutationEngine(QuerySpec seed_spec, uint64_t seed)
+    : spec_(std::move(seed_spec)), rng_(seed) {
+  assert(CheckSpecValid(spec_).empty() && "seed spec must be valid");
+}
+
+bool MutationEngine::Step(int attempts) {
+  const std::vector<MutationOp>& ops = AllMutationOps();
+  for (int i = 0; i < attempts; ++i) {
+    MutationStep step;
+    step.op = ops[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(ops.size()) - 1))];
+    step.seed = rng_.Next();
+    Rng sub(step.seed);
+    if (ApplyMutation(step.op, &spec_, &sub)) {
+      chain_.push_back(step);
+      return true;
+    }
+  }
+  return false;
+}
+
+QuerySpec MutationEngine::Replay(const QuerySpec& seed_spec,
+                                 const std::vector<MutationStep>& chain,
+                                 size_t prefix_len) {
+  QuerySpec spec = seed_spec.Clone();
+  assert(prefix_len <= chain.size());
+  for (size_t i = 0; i < prefix_len; ++i) {
+    Rng sub(chain[i].seed);
+    bool applied = ApplyMutation(chain[i].op, &spec, &sub);
+    assert(applied && "recorded chains replay deterministically");
+    (void)applied;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Seeds + corpus format.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool TopologyFromName(const std::string& name, QueryTopology* t) {
+  for (QueryTopology candidate :
+       {QueryTopology::kRandomTree, QueryTopology::kChain,
+        QueryTopology::kStar, QueryTopology::kCycle, QueryTopology::kClique,
+        QueryTopology::kSnowflake}) {
+    if (name == TopologyName(candidate)) {
+      *t = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Query MaterializeSeed(const FuzzSeed& seed) {
+  if (seed.kind == "tpch") {
+    if (seed.tpch == "ex") return MakeTpchEx();
+    if (seed.tpch == "q1") return MakeTpchQ1();
+    if (seed.tpch == "q3") return MakeTpchQ3();
+    if (seed.tpch == "q5") return MakeTpchQ5();
+    if (seed.tpch == "q10") return MakeTpchQ10();
+    if (seed.tpch == "q18") return MakeTpchQ18();
+    assert(false && "unknown tpch seed");
+  }
+  assert(seed.kind == "gen");
+  GeneratorOptions gen;
+  gen.topology = seed.topology;
+  gen.num_relations = seed.num_relations;
+  if (seed.preset == "inner") {
+    gen.inner_joins_only = true;
+  } else if (seed.preset == "outer") {
+    gen = OuterHeavyOptions(seed.num_relations);
+    gen.topology = seed.topology;
+  } else if (seed.preset == "manyattr") {
+    gen = ManyAttributeOptions(seed.topology, seed.num_relations);
+  } else {
+    assert(seed.preset == "default");
+  }
+  return GenerateRandomQuery(gen, seed.seed);
+}
+
+std::string FormatCorpusEntry(const CorpusEntry& entry) {
+  std::string line;
+  if (entry.seed.kind == "tpch") {
+    line = StrFormat("tpch %s :", entry.seed.tpch.c_str());
+  } else {
+    line = StrFormat("gen %s %d %s %llu :",
+                     TopologyName(entry.seed.topology),
+                     entry.seed.num_relations, entry.seed.preset.c_str(),
+                     static_cast<unsigned long long>(entry.seed.seed));
+  }
+  for (const MutationStep& step : entry.chain) {
+    line += StrFormat(" %s:%llu", MutationOpName(step.op),
+                      static_cast<unsigned long long>(step.seed));
+  }
+  return line;
+}
+
+bool ParseCorpusEntry(const std::string& line, CorpusEntry* entry,
+                      std::string* error) {
+  error->clear();
+  std::istringstream in(line);
+  std::string token;
+  if (!(in >> token) || token[0] == '#') return false;  // blank/comment
+
+  CorpusEntry parsed;
+  parsed.seed.kind = token;
+  if (token == "tpch") {
+    if (!(in >> parsed.seed.tpch)) {
+      *error = "tpch seed without a query name";
+      return false;
+    }
+    const std::string& q = parsed.seed.tpch;
+    if (q != "ex" && q != "q1" && q != "q3" && q != "q5" && q != "q10" &&
+        q != "q18") {
+      *error = "unknown tpch query: " + q;
+      return false;
+    }
+  } else if (token == "gen") {
+    std::string topology;
+    if (!(in >> topology >> parsed.seed.num_relations >> parsed.seed.preset >>
+          parsed.seed.seed)) {
+      *error = "gen seed needs: <topology> <n> <preset> <seed>";
+      return false;
+    }
+    if (!TopologyFromName(topology, &parsed.seed.topology)) {
+      *error = "unknown topology: " + topology;
+      return false;
+    }
+    if (parsed.seed.preset != "default" && parsed.seed.preset != "inner" &&
+        parsed.seed.preset != "outer" && parsed.seed.preset != "manyattr") {
+      *error = "unknown preset: " + parsed.seed.preset;
+      return false;
+    }
+  } else {
+    *error = "unknown seed kind: " + token;
+    return false;
+  }
+
+  if (!(in >> token) || token != ":") {
+    *error = "expected ':' between seed and chain";
+    return false;
+  }
+  while (in >> token) {
+    size_t colon = token.rfind(':');
+    if (colon == std::string::npos) {
+      *error = "chain step without ':': " + token;
+      return false;
+    }
+    MutationStep step;
+    if (!ParseMutationOp(token.substr(0, colon), &step.op)) {
+      *error = "unknown mutation operator: " + token.substr(0, colon);
+      return false;
+    }
+    try {
+      step.seed = std::stoull(token.substr(colon + 1));
+    } catch (...) {
+      *error = "bad sub-seed in: " + token;
+      return false;
+    }
+    parsed.chain.push_back(step);
+  }
+  *entry = std::move(parsed);
+  return true;
+}
+
+}  // namespace eadp

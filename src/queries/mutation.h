@@ -1,0 +1,207 @@
+// Mutation-based differential fuzzing over algebra trees (ROADMAP item 5).
+//
+// The seeded workloads (queries/query_generator.h, queries/tpch.h) cover
+// the topologies the paper evaluates; the layered optimizer stack — exact
+// DP, GOO, IDP, the adaptive facade and the fingerprint-keyed plan cache —
+// diverges, when it diverges, on *adversarial* shapes none of those seeds
+// produce. This module manufactures such shapes deterministically: a set
+// of composable mutation operators over a decomposed query (catalog +
+// operator tree + grouping + aggregation vector), each producing a mutant
+// that either passes the structural validity rules the plan generators
+// assume (CheckSpecValid) or is rejected cleanly with the input untouched,
+// plus a seeded engine that drives N-step mutation chains and records them
+// as replayable (operator, sub-seed) pairs.
+//
+// The contract every operator honors:
+//   * deterministic — the result is a pure function of (input spec,
+//     operator, sub-seed); chains replay bit-identically, which is what
+//     makes divergence minimization (replay the shortest failing prefix)
+//     and the committed regression corpus (tests/corpus/) possible;
+//   * validity-preserving or cleanly rejected — an applied mutation yields
+//     a spec with no CheckSpecValid violations; an inapplicable one (no
+//     candidate site, or every candidate would break an invariant such as
+//     visibility of grouping attributes above a semijoin) returns false
+//     and leaves the spec unchanged;
+//   * fingerprint-moving — an applied mutation changes the canonical query
+//     fingerprint (queries/fingerprint.h): mutants are genuinely new cache
+//     identities, which is what lets the fuzz driver assert that
+//     near-identical mutants never cross-serve from the plan cache.
+//
+// The operator/executor split follows the mutation-testing harnesses in
+// the related work (one operator = one unit-testable transformation; the
+// engine only sequences them). See docs/DESIGN.md §11.
+
+#ifndef EADP_QUERIES_MUTATION_H_
+#define EADP_QUERIES_MUTATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/query.h"
+#include "common/rng.h"
+#include "queries/query_generator.h"
+
+namespace eadp {
+
+/// Deep copy of an operator tree (Query owns its tree as unique_ptr, so
+/// mutation works on explicit clones).
+std::unique_ptr<OpTreeNode> CloneTree(const OpTreeNode& node);
+
+/// A decomposed, mutable representation of one query: exactly the four
+/// ingredients Query::FromTree consumes. Mutations edit this form; ToQuery
+/// re-flattens and canonicalizes, so a round trip with no mutation yields
+/// a byte-identical canonical fingerprint (pinned by mutation_test).
+struct QuerySpec {
+  Catalog catalog;
+  std::unique_ptr<OpTreeNode> root;
+  AttrSet group_by;
+  AggregateVector aggregates;
+
+  QuerySpec Clone() const;
+  Query ToQuery() const;
+
+  /// Decomposes an existing (canonicalized) query. The query must still
+  /// carry its original operator tree (Query::root()).
+  static QuerySpec FromQuery(const Query& query);
+};
+
+/// The mutation operators. Each is deterministic in (spec, sub-seed) and
+/// either applies (returns true, spec now valid and fingerprint-distinct)
+/// or rejects (returns false, spec untouched).
+enum class MutationOp {
+  kIdentity,           ///< no-op; exists to pin fingerprint stability
+  kSwapJoinKind,       ///< inner <-> left outer <-> full outer
+  kToggleSemiAnti,     ///< left semijoin <-> left antijoin
+  kToggleGroupJoin,    ///< inner join <-> groupjoin (aggs added/dropped)
+  kPerturbSelectivity, ///< scale one operator's selectivity (clamped (0,1])
+  kPerturbCardinality, ///< scale one relation's cardinality + distincts
+  kAddGroupBy,         ///< add a visible attribute to G
+  kDropGroupBy,        ///< drop a grouping attribute (keeps |G| >= 1)
+  kAddAggregate,       ///< append an aggregate over a visible attribute
+  kDropAggregate,      ///< drop an aggregate (keeps |F| >= 1)
+  kSwapChildren,       ///< commute a commutative operator's subtrees
+  kRotateSubtree,      ///< re-root: left or right rotation at a node
+  kConjoinPredicate,   ///< add an equality to an operator's conjunction
+  kDropPredicate,      ///< drop an equality (keeps >= 1 per operator)
+};
+
+const char* MutationOpName(MutationOp op);
+
+/// Parses MutationOpName output back; false if `name` is unknown. Used by
+/// the corpus file format.
+bool ParseMutationOp(const std::string& name, MutationOp* op);
+
+/// Every operator the engine draws from (kIdentity excluded: it never
+/// produces a new mutant).
+const std::vector<MutationOp>& AllMutationOps();
+
+/// Structural validity rules the plan generators and the executor assume
+/// of an input query; returns human-readable violations (empty = valid):
+///   * every base relation appears exactly once as a leaf;
+///   * every operator's predicate is a non-empty conjunction whose
+///     equalities pair an attribute visible in the left subtree with one
+///     visible in the right subtree (left/right in that order), with a
+///     finite selectivity in (0, 1];
+///   * groupjoins carry a non-empty aggregate vector whose arguments come
+///     from the right subtree's visible relations; other operators carry
+///     none;
+///   * the grouping attributes and top-level aggregate arguments reference
+///     relations visible at the root (right sides of semi/anti/group joins
+///     are hidden above the operator);
+///   * G and F are non-empty; catalog statistics are finite and positive.
+std::vector<std::string> CheckSpecValid(const QuerySpec& spec);
+
+/// Applies `op` to `spec` with randomness drawn from `rng`. On success the
+/// spec is mutated in place and true is returned; on rejection the spec is
+/// byte-identical to before and false is returned. Deterministic in
+/// (spec, op, rng state).
+bool ApplyMutation(MutationOp op, QuerySpec* spec, Rng* rng);
+
+/// One replayable step of a mutation chain: ApplyMutation(op, spec,
+/// Rng(seed)) — the sub-seed makes each step independent of how many
+/// rejected attempts preceded it.
+struct MutationStep {
+  MutationOp op = MutationOp::kIdentity;
+  uint64_t seed = 0;
+};
+
+/// Drives seeded N-step mutation chains from a seed spec. Step() draws
+/// (operator, sub-seed) pairs until one applies and records it; the
+/// accumulated chain replays bit-identically via Replay, which is what the
+/// fuzz driver's divergence minimization and the committed corpus rely on.
+class MutationEngine {
+ public:
+  MutationEngine(QuerySpec seed_spec, uint64_t seed);
+
+  /// Attempts one mutation. False when `attempts` successive draws all
+  /// reject (a fully saturated spec — rare, but e.g. a single-relation
+  /// query admits only a handful of operators).
+  bool Step(int attempts = 24);
+
+  const QuerySpec& spec() const { return spec_; }
+  const std::vector<MutationStep>& chain() const { return chain_; }
+
+  /// Replays `chain` (or a prefix of it) on a fresh clone of `seed_spec`.
+  /// Every step must apply — chains only come from Step(), which records
+  /// applied mutations exclusively; a non-applying step aborts.
+  static QuerySpec Replay(const QuerySpec& seed_spec,
+                          const std::vector<MutationStep>& chain,
+                          size_t prefix_len);
+
+ private:
+  QuerySpec spec_;
+  Rng rng_;
+  std::vector<MutationStep> chain_;
+};
+
+// ---------------------------------------------------------------------------
+// Replayable seeds + the corpus text format (tests/corpus/*.corpus).
+// ---------------------------------------------------------------------------
+
+/// A replayable description of a seed query: either a generator workload
+/// ("gen": topology + size + preset + seed) or a fixed TPC-H skeleton
+/// ("tpch": query name).
+struct FuzzSeed {
+  std::string kind = "gen";  ///< "gen" | "tpch"
+
+  // kind == "gen"
+  QueryTopology topology = QueryTopology::kRandomTree;
+  int num_relations = 5;
+  /// "default" | "inner" | "outer" (outer/groupjoin-heavy mix) |
+  /// "manyattr" (extra attributes per relation, structured topologies).
+  std::string preset = "default";
+  uint64_t seed = 1;
+
+  // kind == "tpch": "ex" | "q1" | "q3" | "q5" | "q10" | "q18"
+  std::string tpch = "ex";
+};
+
+/// Materializes the seed query (already canonicalized). Aborts on an
+/// unknown kind/preset/tpch name — corpus entries are validated by
+/// ParseCorpusEntry before they get here.
+Query MaterializeSeed(const FuzzSeed& seed);
+
+/// One committed regression-corpus entry: a seed and the mutation chain
+/// that produced the survivor.
+struct CorpusEntry {
+  std::string name;  ///< short human label (file stem by convention)
+  FuzzSeed seed;
+  std::vector<MutationStep> chain;
+};
+
+/// Serializes to the single-line corpus format:
+///   gen <topology> <n> <preset> <seed> : <op>:<subseed> <op>:<subseed> ...
+///   tpch <name> : <op>:<subseed> ...
+/// Sub-seeds are decimal; '#'-prefixed lines and blank lines are comments.
+std::string FormatCorpusEntry(const CorpusEntry& entry);
+
+/// Parses one line of the corpus format. Returns false (with *error set)
+/// on malformed input; comment/blank lines return false with empty error.
+bool ParseCorpusEntry(const std::string& line, CorpusEntry* entry,
+                      std::string* error);
+
+}  // namespace eadp
+
+#endif  // EADP_QUERIES_MUTATION_H_

@@ -178,8 +178,13 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
   int n = options.num_relations;
   assert(n >= 2 && n <= 100);
 
+  assert(n * (1 + options.extra_attrs_per_relation) <= kBitsetCapacity &&
+         "schema exceeds the 128-attribute universe");
+
   Catalog catalog;
   std::vector<int> attrs(static_cast<size_t>(n));
+  std::vector<int> group_attrs(static_cast<size_t>(n));
+  std::vector<int> value_attrs(static_cast<size_t>(n));
   for (int r = 0; r < n; ++r) {
     double card = std::floor(
         LogUniform(rng, options.min_cardinality, options.max_cardinality));
@@ -192,6 +197,19 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
         catalog.AddAttribute(rel, StrFormat("R%d.a", r), distinct);
     if (keyed) {
       catalog.DeclareKey(rel, AttrSet::Single(attrs[static_cast<size_t>(r)]));
+    }
+    // With no extras the join attribute doubles as grouping and
+    // aggregation attribute (historical schema, zero extra RNG draws);
+    // extras spread those roles over a wider relation.
+    group_attrs[static_cast<size_t>(r)] = attrs[static_cast<size_t>(r)];
+    value_attrs[static_cast<size_t>(r)] = attrs[static_cast<size_t>(r)];
+    for (int x = 0; x < options.extra_attrs_per_relation; ++x) {
+      double extra_distinct =
+          std::max(2.0, std::floor(LogUniform(rng, card / 50, card)));
+      int a = catalog.AddAttribute(rel, StrFormat("R%d.x%d", r, x),
+                                   extra_distinct);
+      if (x == 0) group_attrs[static_cast<size_t>(r)] = a;
+      value_attrs[static_cast<size_t>(r)] = a;
     }
   }
 
@@ -227,6 +245,11 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
       case QueryTopology::kClique:
         for (int j = 0; j < i; ++j) add_edge(&pred, &sel, j, i);
         break;
+      case QueryTopology::kSnowflake:
+        // 3-ary fact/dimension hierarchy rooted at R0: each relation
+        // joins its parent, which the left-deep build has already placed.
+        add_edge(&pred, &sel, (i - 1) / 3, i);
+        break;
       case QueryTopology::kRandomTree:
         assert(false && "structured path called with kRandomTree");
         break;
@@ -235,9 +258,8 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
                               OpTreeNode::Leaf(i), std::move(pred), sel);
   }
 
-  // The single attribute doubles as grouping and aggregation attribute.
-  return FinishQuery(options, rng, std::move(catalog), std::move(root), attrs,
-                     attrs);
+  return FinishQuery(options, rng, std::move(catalog), std::move(root),
+                     group_attrs, value_attrs);
 }
 
 }  // namespace
@@ -254,8 +276,35 @@ const char* TopologyName(QueryTopology t) {
       return "cycle";
     case QueryTopology::kClique:
       return "clique";
+    case QueryTopology::kSnowflake:
+      return "snowflake";
   }
   return "?";
+}
+
+GeneratorOptions OuterHeavyOptions(int num_relations) {
+  GeneratorOptions o;
+  o.num_relations = num_relations;
+  o.topology = QueryTopology::kRandomTree;
+  o.w_join = 0.15;
+  o.w_left_outer = 0.25;
+  o.w_full_outer = 0.20;
+  o.w_left_semi = 0.10;
+  o.w_left_anti = 0.10;
+  o.w_groupjoin = 0.20;
+  return o;
+}
+
+GeneratorOptions ManyAttributeOptions(QueryTopology topology,
+                                      int num_relations) {
+  assert(topology != QueryTopology::kRandomTree &&
+         "many-attribute preset applies to the structured topologies");
+  assert(num_relations <= 32);
+  GeneratorOptions o;
+  o.num_relations = num_relations;
+  o.topology = topology;
+  o.extra_attrs_per_relation = 3;
+  return o;
 }
 
 Query GenerateRandomQuery(const GeneratorOptions& options, uint64_t seed) {

@@ -21,16 +21,26 @@ namespace eadp {
 ///
 ///   kRandomTree — the paper's workload: unranked uniform binary operator
 ///                 trees with a random operator mix (2..20 relations).
-///   kChain/kStar/kCycle/kClique — structured large-query topologies
-///                 (inner joins only, one attribute per relation) used by
-///                 the large-query subsystem; up to 100 relations. The
-///                 topology names the *predicate* structure: a chain links
-///                 consecutive relations, a star links every relation to
-///                 R0, a cycle closes the chain with an R0 = R_{n-1}
-///                 equality on the last operator, and a clique carries all
-///                 n(n-1)/2 pairwise equalities (operator i conjoins the i
-///                 equalities linking R_i to every earlier relation).
-enum class QueryTopology { kRandomTree, kChain, kStar, kCycle, kClique };
+///   kChain/kStar/kCycle/kClique/kSnowflake — structured large-query
+///                 topologies (inner joins only, one join attribute per
+///                 relation) used by the large-query subsystem; up to 100
+///                 relations. The topology names the *predicate* structure:
+///                 a chain links consecutive relations, a star links every
+///                 relation to R0, a cycle closes the chain with an
+///                 R0 = R_{n-1} equality on the last operator, a clique
+///                 carries all n(n-1)/2 pairwise equalities (operator i
+///                 conjoins the i equalities linking R_i to every earlier
+///                 relation), and a snowflake links R_i to its parent
+///                 R_{(i-1)/3} — a 3-ary fact/dimension hierarchy, the
+///                 star-with-branches shape of warehouse schemas.
+enum class QueryTopology {
+  kRandomTree,
+  kChain,
+  kStar,
+  kCycle,
+  kClique,
+  kSnowflake,
+};
 
 const char* TopologyName(QueryTopology t);
 
@@ -75,7 +85,28 @@ struct GeneratorOptions {
 
   /// Inner joins only (baseline workloads / sanity checks).
   bool inner_joins_only = false;
+
+  /// Structured topologies only: extra non-join attributes per relation
+  /// ("Rk.x0", "Rk.x1", ...) that become grouping/aggregation candidates.
+  /// The default of 0 keeps the historical one-attribute-per-relation
+  /// schema *and* the historical RNG draw sequence (seeded workloads are
+  /// pinned by tests and benches); n·(1 + extra) must stay within the
+  /// 128-attribute universe.
+  int extra_attrs_per_relation = 0;
 };
+
+/// Preset: a random-tree workload whose operator mix is dominated by outer
+/// joins and groupjoins — the mix where the conflict detector, the default
+/// vectors of generalized outer joins, and the adaptive facade's fallbacks
+/// are actually exercised (the default mix is ~84% inner/outer join).
+GeneratorOptions OuterHeavyOptions(int num_relations);
+
+/// Preset: a structured topology with `extra_attrs_per_relation = 3`, so
+/// grouping sets and aggregation vectors draw from wide schemas instead of
+/// the single shared attribute. Requires num_relations <= 32 (4 attributes
+/// per relation in a 128-attribute universe).
+GeneratorOptions ManyAttributeOptions(QueryTopology topology,
+                                      int num_relations);
 
 /// Generates a random query; deterministic in (options, seed). The result
 /// is already canonicalized (avg split into sum/countNN). Random trees

@@ -1,0 +1,181 @@
+// The oracle stack of the mutation fuzzer, shared between the fuzz driver
+// (mutation_fuzz_test, ctest label "fuzz") and the committed-corpus replay
+// (mutation_corpus_test, tier-1).
+//
+// For one mutant query, CheckMutant runs:
+//   * every applicable planning strategy — the exhaustive generators
+//     (kDphyp, kEaAll, kEaPrune) on queries small enough to enumerate,
+//     always the large-query strategies (kGoo, kIdp) and the adaptive
+//     facade — and validates every produced plan structurally
+//     (plangen/plan_validator.h);
+//   * the exec-backed equivalence oracle: each plan is executed on a tiny
+//     generated database and must reproduce the canonical evaluation's
+//     rows bit-identically (bag semantics);
+//   * the cache-warm path: planning the mutant again through a shared
+//     PlanCache must hit, and the served plan must be cost-identical to a
+//     fresh plan and (when executed) row-identical to the canonical
+//     evaluation — a near-duplicate mutant cross-serving another mutant's
+//     plan fails one of the two.
+//
+// Deliberately ABSENT: cross-strategy cost comparisons. Mutated
+// selectivities and cardinalities violate the statistics-consistency
+// precondition of dominance pruning's optimality proof (DESIGN.md §5), so
+// "heuristic beats the exhaustive optimum" is *expected* on mutated stats
+// and would drown real divergences in noise. Structural validity and
+// result rows are invariant under statistics, so those oracles stay sound.
+
+#ifndef EADP_TESTS_FUZZ_UTIL_H_
+#define EADP_TESTS_FUZZ_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "exec/plan_executor.h"
+#include "plangen/plan_cache.h"
+#include "plangen/plan_validator.h"
+#include "plangen/plangen.h"
+#include "queries/data_generator.h"
+#include "queries/mutation.h"
+#include "tests/test_util.h"
+
+namespace eadp {
+
+struct FuzzOracleOptions {
+  /// Exhaustive strategies only run at or below this relation count
+  /// (kEaAll is exponential; mutants never add relations, so seeds bound
+  /// this). kGoo/kIdp/adaptive run regardless.
+  int max_exhaustive_relations = 8;
+  /// The exec oracle only runs at or below this relation count: tables
+  /// have <= 10 rows, but a 10-relation cross-product-ish mutant can
+  /// still blow up the interpreter.
+  int max_exec_relations = 7;
+  /// Seed for the generated database.
+  uint64_t data_seed = 7;
+  /// When set, the cache-warm path check runs against this (shared,
+  /// long-lived) cache.
+  PlanCache* cache = nullptr;
+};
+
+/// The result of one oracle sweep. `failures` empty = mutant survived.
+struct FuzzOracleReport {
+  std::vector<std::string> failures;
+  int strategies_run = 0;
+  bool executed = false;   ///< exec oracle ran
+  bool cache_hit = false;  ///< warm probe served from cache
+};
+
+/// Runs the full oracle stack over one (canonicalized) query.
+inline FuzzOracleReport CheckMutant(const Query& query,
+                                    const FuzzOracleOptions& oracle) {
+  FuzzOracleReport report;
+  int n = query.NumRelations();
+  bool run_exec = n <= oracle.max_exec_relations;
+  Database db;
+  if (run_exec) {
+    db = GenerateDatabase(query, oracle.data_seed);
+    report.executed = true;
+  }
+
+  std::vector<Algorithm> algorithms = {Algorithm::kGoo, Algorithm::kIdp};
+  if (n <= oracle.max_exhaustive_relations) {
+    algorithms.insert(algorithms.begin(),
+                      {Algorithm::kDphyp, Algorithm::kEaAll,
+                       Algorithm::kEaPrune});
+  }
+
+  auto check_plan = [&](const OptimizeResult& r, const char* label) {
+    if (r.plan == nullptr) return;  // satisfiability handled by the caller
+    for (const std::string& v : ValidatePlan(r.plan, query)) {
+      report.failures.push_back(StrFormat("%s: validator: %s", label,
+                                          v.c_str()));
+    }
+    if (run_exec) {
+      std::string message;
+      if (!PlanMatchesCanonical(r.plan, query, db, &message)) {
+        report.failures.push_back(
+            StrFormat("%s: exec oracle mismatch:\n%s", label,
+                      message.c_str()));
+      }
+    }
+  };
+
+  // kDphyp is the reorder-only baseline: a structurally valid query it
+  // cannot plan is itself a finding.
+  bool baseline_planned = false;
+  for (Algorithm a : algorithms) {
+    OptimizerOptions opts;
+    opts.algorithm = a;
+    OptimizeResult r = Optimize(query, opts);
+    ++report.strategies_run;
+    if (a == Algorithm::kDphyp) baseline_planned = r.plan != nullptr;
+    if (r.plan == nullptr && a == Algorithm::kDphyp) {
+      report.failures.push_back("kDphyp: no plan for a valid query");
+    }
+    check_plan(r, AlgorithmName(a));
+  }
+  (void)baseline_planned;
+
+  OptimizerOptions adaptive;
+  OptimizeResult fresh = OptimizeAdaptive(query, adaptive);
+  ++report.strategies_run;
+  if (fresh.plan == nullptr) {
+    report.failures.push_back("adaptive: no plan for a valid query");
+  }
+  check_plan(fresh, "adaptive");
+
+  if (oracle.cache != nullptr && fresh.plan != nullptr) {
+    OptimizerOptions cached = adaptive;
+    cached.plan_cache = oracle.cache;
+    // First pass populates (or hits a structurally identical earlier
+    // mutant — fine: fingerprint equality is structural equality); the
+    // second pass must hit.
+    OptimizeAdaptive(query, cached);
+    OptimizeResult warm = OptimizeAdaptive(query, cached);
+    if (!warm.stats.cache_hit) {
+      report.failures.push_back("cache: warm probe missed");
+    } else {
+      report.cache_hit = true;
+      // Cross-serving detection: a hit must be cost-identical to the
+      // fresh plan (optimization is deterministic, so any cost delta
+      // means the cache served a *different* query's plan) ...
+      if (warm.plan == nullptr) {
+        report.failures.push_back("cache: hit served a null plan");
+      } else if (warm.plan->cost != fresh.plan->cost) {
+        report.failures.push_back(
+            StrFormat("cache: served plan cost %.17g != fresh cost %.17g "
+                      "(cross-served entry?)",
+                      warm.plan->cost, fresh.plan->cost));
+      } else if (run_exec) {
+        // ... and row-identical to the canonical evaluation.
+        std::string message;
+        if (!PlanMatchesCanonical(warm.plan, query, db, &message)) {
+          report.failures.push_back(
+              "cache: served plan rows diverge from canonical:\n" + message);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+/// Formats a replayable reproducer line for a failing (seed, chain) pair —
+/// the exact corpus-format line scripts/fuzz.sh and the corpus replay
+/// consume.
+inline std::string FormatReproducer(const CorpusEntry& entry,
+                                    const std::vector<std::string>& failures) {
+  std::string out = "# " + std::to_string(failures.size()) + " failure(s):\n";
+  for (const std::string& f : failures) {
+    std::string line = f.substr(0, 200);
+    for (char& c : line) {
+      if (c == '\n') c = ' ';
+    }
+    out += "#   " + line + "\n";
+  }
+  out += FormatCorpusEntry(entry) + "\n";
+  return out;
+}
+
+}  // namespace eadp
+
+#endif  // EADP_TESTS_FUZZ_UTIL_H_

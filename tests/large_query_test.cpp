@@ -28,27 +28,8 @@
 namespace eadp {
 namespace {
 
-// Wall-clock assertions only hold on optimized, un-instrumented builds:
-// sanitizers slow the optimizer by an order of magnitude, and -O0 (the
-// CI Debug matrix legs) by ~2x — enough to breach the 100 ms pin on the
-// denser topologies. The correctness half of every test still runs in
-// all configurations; only the timing expectation is gated.
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-constexpr bool kInstrumentedBuild = true;
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
-constexpr bool kInstrumentedBuild = true;
-#else
-constexpr bool kInstrumentedBuild = false;
-#endif
-#else
-constexpr bool kInstrumentedBuild = false;
-#endif
-#if defined(__OPTIMIZE__)
-constexpr bool kTimingPinned = !kInstrumentedBuild;
-#else
-constexpr bool kTimingPinned = false;  // -O0: Debug matrix legs
-#endif
+// Wall-clock assertions use the shared kTimingPinned gate from
+// tests/test_util.h (optimized, un-instrumented builds only).
 
 std::vector<QueryTopology> StructuredTopologies() {
   return {QueryTopology::kChain, QueryTopology::kStar, QueryTopology::kCycle,

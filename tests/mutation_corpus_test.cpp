@@ -1,0 +1,80 @@
+// Tier-1 replay of the committed mutation-fuzz regression corpus
+// (tests/corpus/*.corpus, path baked in as EADP_CORPUS_DIR).
+//
+// Each corpus line is a (seed, chain) survivor folded from a fuzz run:
+// the chain replays deterministically onto the materialized seed, and the
+// resulting mutant must still pass the full oracle stack — all
+// strategies, the plan validator, the exec-backed row equivalence and the
+// cache-warm path. Fast by construction (the corpus holds a few dozen
+// small mutants), so it runs on every tier-1 invocation and keeps the
+// fuzzer's past findings pinned.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "plangen/plan_cache.h"
+#include "queries/mutation.h"
+#include "tests/fuzz_util.h"
+
+#ifndef EADP_CORPUS_DIR
+#error "EADP_CORPUS_DIR must point at the committed corpus directory"
+#endif
+
+namespace eadp {
+namespace {
+
+std::vector<CorpusEntry> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open corpus file " << path;
+  std::vector<CorpusEntry> entries;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    CorpusEntry entry;
+    std::string error;
+    if (ParseCorpusEntry(line, &entry, &error)) {
+      entry.name = StrFormat("%s:%d", path.c_str(), line_no);
+      entries.push_back(std::move(entry));
+    } else {
+      EXPECT_TRUE(error.empty())
+          << path << ":" << line_no << ": " << error;  // comments are fine
+    }
+  }
+  return entries;
+}
+
+TEST(MutationCorpus, AllEntriesReplayClean) {
+  std::vector<CorpusEntry> corpus =
+      LoadCorpus(std::string(EADP_CORPUS_DIR) + "/mutation.corpus");
+  // The acceptance floor: at least 10 structurally distinct survivors
+  // stay committed.
+  ASSERT_GE(corpus.size(), 10u);
+
+  PlanCache cache;
+  FuzzOracleOptions oracle;
+  oracle.cache = &cache;
+  int replayed = 0;
+  for (const CorpusEntry& entry : corpus) {
+    SCOPED_TRACE(entry.name + ": " + FormatCorpusEntry(entry));
+    QuerySpec seed_spec = QuerySpec::FromQuery(MaterializeSeed(entry.seed));
+    ASSERT_TRUE(CheckSpecValid(seed_spec).empty());
+    QuerySpec mutant =
+        MutationEngine::Replay(seed_spec, entry.chain, entry.chain.size());
+    std::vector<std::string> violations = CheckSpecValid(mutant);
+    ASSERT_TRUE(violations.empty())
+        << "chain no longer replays to a valid spec: " << violations[0];
+    FuzzOracleReport report = CheckMutant(mutant.ToQuery(), oracle);
+    for (const std::string& f : report.failures) {
+      ADD_FAILURE() << f;
+    }
+    ++replayed;
+  }
+  EXPECT_EQ(replayed, static_cast<int>(corpus.size()));
+}
+
+}  // namespace
+}  // namespace eadp

@@ -126,12 +126,12 @@ TEST(QueryGenerator, AvgGetsCanonicalized) {
 }
 
 // ---------------------------------------------------------------------------
-// Structured large-query topologies (chain/star/cycle/clique).
+// Structured large-query topologies (chain/star/cycle/clique/snowflake).
 // ---------------------------------------------------------------------------
 
 std::vector<QueryTopology> StructuredTopologies() {
   return {QueryTopology::kChain, QueryTopology::kStar, QueryTopology::kCycle,
-          QueryTopology::kClique};
+          QueryTopology::kClique, QueryTopology::kSnowflake};
 }
 
 /// Unordered relation pairs linked by at least one predicate equality.
@@ -197,6 +197,10 @@ TEST(TopologyGenerator, EdgeStructureMatchesTopology) {
             for (int i = 0; i < n; ++i) {
               for (int j = i + 1; j < n; ++j) want.emplace(i, j);
             }
+            break;
+          case QueryTopology::kSnowflake:
+            // 3-ary hierarchy: relation i links to its parent (i-1)/3.
+            for (int i = 1; i < n; ++i) want.emplace((i - 1) / 3, i);
             break;
           case QueryTopology::kRandomTree:
             break;
