@@ -5,6 +5,12 @@
 // EA-Prune extends the feasible range by ~3 relations, H1 tracks DPhyp
 // within a small constant factor (paper: ~2.6x), DPhyp stays fastest.
 //
+// Extension beyond the paper: a DPhyp workers=4 column (intra-query
+// parallel DP, src/plangen/parallel_dp.h) for the sizes with enough
+// csg-cmp-pairs to shard (n >= 10). Its wall medians are recorded as
+// ".../workers=4" rows, which bench_gate.py treats as core-count-
+// sensitive (reported, never gated).
+//
 // The printed table reports averages (comparable with the paper's plots);
 // the machine-readable records (EADP_BENCH_JSON, see bench_util.h) report
 // per-size *medians*, which are robust against scheduler noise.
@@ -12,6 +18,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/thread_pool.h"
 
 using namespace eadp;
 
@@ -20,18 +27,21 @@ int main(int argc, char** argv) {
   const int max_rels = 15;
   const int max_rels_prune = 11;
   const int max_rels_all = 8;
+  const int min_rels_workers = 10;
   BenchJsonWriter json("fig16_runtime");
+  ThreadPool pool(3);
 
   std::printf("Figure 16: average optimization runtime [ms] "
               "(%d queries/size)\n", queries);
-  std::printf("%4s %12s %12s %12s %12s %10s\n", "rels", "DPhyp", "H1",
-              "EA-Prune", "EA-All", "H1/DPhyp");
+  std::printf("%4s %12s %12s %12s %12s %12s %10s\n", "rels", "DPhyp", "H1",
+              "EA-Prune", "EA-All", "DPhyp(w=4)", "H1/DPhyp");
 
   for (int n = 3; n <= max_rels; ++n) {
     std::vector<double> dphyp_ms;
     std::vector<double> h1_ms;
     std::vector<double> prune_ms;
     std::vector<double> all_ms;
+    std::vector<double> dphyp_w4_ms;
     for (int i = 0; i < queries; ++i) {
       Query q = BenchQuery(n, static_cast<uint64_t>(n) * 200000 + i);
       dphyp_ms.push_back(RunAlgorithm(q, Algorithm::kDphyp).ms);
@@ -41,6 +51,13 @@ int main(int argc, char** argv) {
       }
       if (n <= max_rels_all) {
         all_ms.push_back(RunAlgorithm(q, Algorithm::kEaAll).ms);
+      }
+      if (n >= min_rels_workers) {
+        OptimizerOptions options;
+        options.algorithm = Algorithm::kDphyp;
+        options.dp_threads = 4;
+        options.dp_pool = &pool;
+        dphyp_w4_ms.push_back(Optimize(q, options).stats.optimize_ms);
       }
     }
     auto avg = [](const std::vector<double>& v) {
@@ -59,10 +76,15 @@ int main(int argc, char** argv) {
     record("H1", h1_ms);
     record("EA-Prune", prune_ms);
     record("EA-All", all_ms);
+    if (!dphyp_w4_ms.empty()) {
+      json.RecordMs("DPhyp/n=" + std::to_string(n) + "/workers=4",
+                    Median(dphyp_w4_ms));
+    }
     double d = avg(dphyp_ms);
     double h = avg(h1_ms);
     double p = avg(prune_ms);
     double a = avg(all_ms);
+    double w4 = avg(dphyp_w4_ms);
     std::printf("%4d %12.4f %12.4f ", n, d, h);
     if (p >= 0) {
       std::printf("%12.4f ", p);
@@ -71,6 +93,11 @@ int main(int argc, char** argv) {
     }
     if (a >= 0) {
       std::printf("%12.4f ", a);
+    } else {
+      std::printf("%12s ", "-");
+    }
+    if (w4 >= 0) {
+      std::printf("%12.4f ", w4);
     } else {
       std::printf("%12s ", "-");
     }

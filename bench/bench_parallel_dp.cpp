@@ -1,0 +1,121 @@
+// Intra-query parallel DP: one exact-DP optimization sharded across the
+// thread pool (subset-size levels, per-worker DpTable shards — see
+// src/plangen/parallel_dp.h), measured on topologies spanning the ccp
+// density range. Star is the dense case: every subset containing the hub
+// is connected, so n=14 carries ~53k csg-cmp-pairs (~65 ms sequential) —
+// enough work per level to feed several cores. Cycle n=14 (~365 ccps)
+// and clique n=12 are the sparse end: the generator's clique conjoins
+// operator i's equalities into one predicate, whose SES becomes a
+// hyperedge covering the whole prefix, forcing the left-deep order
+// (ccp = n-1) — so it measures pure sharding overhead, not scaling.
+// Workers 1/2/4/8; workers=1 is the untouched sequential
+// enumeration path, so it doubles as the baseline AND as the determinism
+// reference: the bench aborts loudly if any parallel run's plan cost
+// differs bit-for-bit from the sequential one.
+//
+// Reported per (query, workers): median optimize wall clock, speedup over
+// workers=1, and the median barrier wait (time the coordinating thread
+// spent blocked on the level barrier — high values mean skewed shards,
+// not contention). Expected shape: near-linear to the physical core
+// count, flat beyond; on a single-core host every worker count lands near
+// 1.0x (barrier wait then measures pure scheduling overhead).
+//
+// Machine-readable records (EADP_BENCH_JSON, see bench_util.h): wall
+// medians as "<query>/workers=N" median_ms rows — bench_gate.py gates
+// only workers=1 (multi-worker wall clock measures core topology, not
+// code; see MULTITHREAD_CASE there) — plus speedup and barrier-wait
+// `value` rows, which never gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+
+using namespace eadp;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  QueryTopology topology;
+  int num_relations;
+};
+
+Query MakeWorkload(const Workload& w) {
+  GeneratorOptions gen;
+  gen.topology = w.topology;
+  gen.num_relations = w.num_relations;
+  return GenerateRandomQuery(gen, 42);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = BenchQueries(argc, argv, 5);
+  BenchJsonWriter json("parallel_dp");
+
+  const Workload workloads[] = {
+      {"star12", QueryTopology::kStar, 12},
+      {"star14", QueryTopology::kStar, 14},
+      {"cycle14", QueryTopology::kCycle, 14},
+      {"clique12", QueryTopology::kClique, 12},
+  };
+  const int worker_counts[] = {1, 2, 4, 8};
+
+  unsigned cores = std::thread::hardware_concurrency();
+  std::printf("Intra-query parallel DP (DPhyp, %d reps; host has %u "
+              "hardware threads)\n", reps, cores);
+  std::printf("%-10s %8s %12s %10s %14s\n", "query", "workers", "median_ms",
+              "speedup", "barrier_ms");
+
+  for (const Workload& w : workloads) {
+    Query q = MakeWorkload(w);
+    // One shared pool across worker counts: FanOut uses the first W-1
+    // slots, so timing excludes thread spawn/teardown.
+    ThreadPool pool(7);
+    double seq_median = 0;
+    double seq_cost = 0;
+    for (int workers : worker_counts) {
+      OptimizerOptions options;
+      options.algorithm = Algorithm::kDphyp;
+      options.dp_threads = workers;
+      options.dp_pool = workers > 1 ? &pool : nullptr;
+      std::vector<double> ms;
+      std::vector<double> barrier_ms;
+      double cost = 0;
+      for (int r = 0; r < reps; ++r) {
+        OptimizeResult res = Optimize(q, options);
+        ms.push_back(res.stats.optimize_ms);
+        barrier_ms.push_back(res.stats.dp_barrier_wait_ms);
+        cost = res.plan ? res.plan->cost : 0;
+      }
+      double median = Median(ms);
+      if (workers == 1) {
+        seq_median = median;
+        seq_cost = cost;
+      } else if (cost != seq_cost) {
+        std::fprintf(stderr,
+                     "FATAL: %s workers=%d cost %.17g != sequential %.17g\n",
+                     w.name, workers, cost, seq_cost);
+        return 1;
+      }
+      double speedup = median > 0 ? seq_median / median : 0;
+      std::string case_name =
+          std::string(w.name) + "/workers=" + std::to_string(workers);
+      json.RecordMs(case_name, median);
+      if (workers > 1) {
+        json.RecordValue(case_name + "/speedup", speedup);
+      }
+      json.RecordValue(case_name + "/barrier_ms", Median(barrier_ms));
+      std::printf("%-10s %8d %12.4f %9.2fx %14.4f\n", w.name, workers,
+                  median, speedup, Median(barrier_ms));
+    }
+  }
+  std::printf("\n(expected: near-linear to the physical core count, ~1.0x "
+              "beyond; single-core hosts stay ~1.0x throughout)\n");
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Perf-trajectory tracking: runs the perf-relevant benches
 # (bench_fig16_runtime, bench_complexity, bench_table2_tpch,
-# bench_large_queries, bench_parallel, bench_plan_cache) with JSON
-# recording enabled and folds the results into BENCH_results.json at the
+# bench_large_queries, bench_parallel, bench_parallel_dp,
+# bench_plan_cache) with JSON recording enabled and folds the results
+# into BENCH_results.json at the
 # repo root. Folding merges by (suite, case, host): re-running replaces a
 # row's previous measurement from the same host instead of dropping the
 # rest of the section or accumulating duplicates.
@@ -36,7 +37,8 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target bench_fig16_runtime bench_complexity bench_table2_tpch \
-           bench_large_queries bench_parallel bench_plan_cache >/dev/null
+           bench_large_queries bench_parallel bench_parallel_dp \
+           bench_plan_cache >/dev/null
 
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
@@ -57,6 +59,9 @@ EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_large_queries"
 echo
 echo "== bench_parallel (throughput scaling; bounded by physical cores) =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_parallel"
+echo
+echo "== bench_parallel_dp (intra-query DP sharding; bounded by physical cores) =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_parallel_dp"
 echo
 echo "== bench_plan_cache (Zipf-stream hit rates; cache off/cold/warm) =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_plan_cache"

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace eadp {
 
@@ -35,6 +36,38 @@ void ThreadPool::Enqueue(std::function<void()> job) {
     ++submitted_;
   }
   cv_.notify_one();
+}
+
+double ThreadPool::FanOut(ThreadPool* pool, int workers,
+                          const std::function<void(int)>& fn) {
+  if (pool == nullptr || workers <= 1) {
+    for (int w = 0; w < std::max(workers, 1); ++w) fn(w);
+    return 0;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(workers - 1));
+  for (int w = 1; w < workers; ++w) {
+    futures.push_back(pool->Submit([&fn, w] { fn(w); }));
+  }
+  std::exception_ptr first_error;
+  try {
+    fn(0);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  auto barrier_start = std::chrono::steady_clock::now();
+  // Join every future before any rethrow (peers read caller-owned state).
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - barrier_start)
+      .count();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -69,6 +69,20 @@ class ThreadPool {
     return future;
   }
 
+  /// Fan-out/fan-in helper: invokes `fn(w)` for every worker index w in
+  /// [0, workers), waits for all of them, and returns the barrier wait —
+  /// the milliseconds the *calling thread* spent blocked on peers after
+  /// finishing its own share (the parallel DP surfaces this per-run, see
+  /// OptimizeStats::dp_barrier_wait_ms). Worker 0 runs inline on the
+  /// calling thread; workers 1.. are pool tasks, so a fan-out of W needs
+  /// only W-1 pool slots and the caller never idles. With a null pool or
+  /// workers <= 1, every index runs inline in ascending order — the
+  /// degenerate sequential schedule. Exceptions from any worker are
+  /// rethrown (first one wins) only after every worker has finished:
+  /// unwinding while peers still run would destroy state they read.
+  static double FanOut(ThreadPool* pool, int workers,
+                       const std::function<void(int)>& fn);
+
  private:
   void Enqueue(std::function<void()> job);
   void WorkerLoop();

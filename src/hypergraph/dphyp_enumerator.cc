@@ -6,10 +6,17 @@ namespace eadp {
 
 namespace {
 
+/// Templated on the emit callback so the per-pair call inlines: the
+/// enumeration itself is a few bitset operations per pair, and routing
+/// every emission through a std::function indirection measurably taxes the
+/// cheap generators (kDphyp/kH1). The public std::function entry points
+/// instantiate this once; CollectCsgCmpPairsBySize instantiates it with
+/// the direct bucketing lambda.
+template <typename EmitFn>
 class Enumerator {
  public:
-  Enumerator(const Hypergraph& graph, const CcpCallback& cb)
-      : graph_(graph), cb_(cb) {}
+  Enumerator(const Hypergraph& graph, const EmitFn& emit)
+      : graph_(graph), emit_(emit) {}
 
   uint64_t Run() {
     int n = graph_.num_nodes();
@@ -66,23 +73,38 @@ class Enumerator {
 
   void Emit(RelSet s1, RelSet s2) {
     ++count_;
-    if (cb_) cb_(s1, s2);
+    emit_(s1, s2);
   }
 
   const Hypergraph& graph_;
-  const CcpCallback& cb_;
+  const EmitFn& emit_;
   uint64_t count_ = 0;
 };
+
+template <typename EmitFn>
+uint64_t RunEnumeration(const Hypergraph& graph, const EmitFn& emit) {
+  Enumerator<EmitFn> e(graph, emit);
+  return e.Run();
+}
 
 }  // namespace
 
 uint64_t EnumerateCsgCmpPairs(const Hypergraph& graph, const CcpCallback& cb) {
-  Enumerator e(graph, cb);
-  return e.Run();
+  if (!cb) return CountCsgCmpPairs(graph);
+  return RunEnumeration(graph, cb);
 }
 
 uint64_t CountCsgCmpPairs(const Hypergraph& graph) {
-  return EnumerateCsgCmpPairs(graph, nullptr);
+  return RunEnumeration(graph, [](RelSet, RelSet) {});
+}
+
+uint64_t CollectCsgCmpPairsBySize(const Hypergraph& graph,
+                                  std::vector<std::vector<CcpPair>>* levels) {
+  levels->clear();
+  levels->resize(static_cast<size_t>(graph.num_nodes()) + 1);
+  return RunEnumeration(graph, [levels](RelSet s1, RelSet s2) {
+    (*levels)[static_cast<size_t>(s1.Union(s2).Count())].push_back({s1, s2});
+  });
 }
 
 }  // namespace eadp

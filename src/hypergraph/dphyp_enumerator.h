@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/bitset.h"
 #include "hypergraph/hypergraph.h"
@@ -32,6 +33,24 @@ uint64_t EnumerateCsgCmpPairs(const Hypergraph& graph, const CcpCallback& cb);
 
 /// Counts csg-cmp-pairs without a callback (for tests and statistics).
 uint64_t CountCsgCmpPairs(const Hypergraph& graph);
+
+/// One csg-cmp-pair, materialized.
+struct CcpPair {
+  RelSet s1;
+  RelSet s2;
+};
+
+/// Materializes every csg-cmp-pair bucketed by |S1 ∪ S2|: on return,
+/// (*levels)[k] holds — in emission order — exactly the pairs whose union
+/// has k relations (entries 0 and 1 stay empty; `levels` is sized
+/// num_nodes()+1). This is the schedule the intra-query parallel DP runs:
+/// every source class of a level-k pair belongs to a strictly smaller
+/// level, and the only level-k class a pair touches is its own union — so
+/// levels can be processed with a barrier between them while pairs within
+/// a level spread across workers, partitioned by target class
+/// (plangen/parallel_dp.h). Returns the total pair count.
+uint64_t CollectCsgCmpPairsBySize(const Hypergraph& graph,
+                                  std::vector<std::vector<CcpPair>>* levels);
 
 }  // namespace eadp
 

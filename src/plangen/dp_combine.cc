@@ -7,10 +7,11 @@ namespace eadp {
 
 CcpCombiner::CcpCombiner(const Query* query, PlanBuilder* builder,
                          DpTable* dp, Algorithm algorithm,
-                         double h2_tolerance)
+                         double h2_tolerance, const DpTable* read_dp)
     : query_(query),
       builder_(builder),
       dp_(dp),
+      read_dp_(read_dp != nullptr ? read_dp : dp),
       algorithm_(algorithm),
       h2_tolerance_(h2_tolerance) {
   assert(algorithm_ != Algorithm::kGoo && algorithm_ != Algorithm::kIdp &&
@@ -28,16 +29,16 @@ bool CcpCombiner::Combine(RelSet s1, RelSet s2) {
 
   switch (algorithm_) {
     case Algorithm::kDphyp: {
-      PlanPtr t1 = dp_->Best(a);
-      PlanPtr t2 = dp_->Best(b);
+      PlanPtr t1 = read_dp_->Best(a);
+      PlanPtr t2 = read_dp_->Best(b);
       if (!t1 || !t2) return false;
       dp_->InsertIfCheaper(s, builder_->MakeJoin(t1, t2, crossing));
       break;
     }
     case Algorithm::kH1:
     case Algorithm::kH2: {
-      PlanPtr t1 = dp_->Best(a);
-      PlanPtr t2 = dp_->Best(b);
+      PlanPtr t1 = read_dp_->Best(a);
+      PlanPtr t2 = read_dp_->Best(b);
       if (!t1 || !t2) return false;
       trees_.clear();
       builder_->OpTrees(t1, t2, crossing, &trees_);
@@ -49,8 +50,8 @@ bool CcpCombiner::Combine(RelSet s1, RelSet s2) {
       // References stay valid while inserting: the target class `s` is
       // strictly larger than `a` and `b`, and unordered_map rehashing
       // never invalidates references to values (pinned by dp_table_test).
-      const std::vector<PlanPtr>& plans_a = dp_->Plans(a);
-      const std::vector<PlanPtr>& plans_b = dp_->Plans(b);
+      const std::vector<PlanPtr>& plans_a = read_dp_->Plans(a);
+      const std::vector<PlanPtr>& plans_b = read_dp_->Plans(b);
       if (plans_a.empty() || plans_b.empty()) return false;
       for (PlanPtr t1 : plans_a) {
         for (PlanPtr t2 : plans_b) {

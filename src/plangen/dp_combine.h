@@ -25,8 +25,17 @@ namespace eadp {
 class CcpCombiner {
  public:
   /// All pointers are borrowed and must outlive the combiner.
+  ///
+  /// `read_dp` is the table source classes are looked up in; null (the
+  /// sequential case) means "same table as `dp`". The intra-query parallel
+  /// DP passes the merged global table as `read_dp` and a per-worker shard
+  /// as `dp`: a pair's source classes live in completed smaller levels
+  /// (global, read-only during the level), while its target class — which
+  /// kH2's InsertHeuristic also *reads* via Best(s) — lives in the shard
+  /// of the worker owning that class.
   CcpCombiner(const Query* query, PlanBuilder* builder, DpTable* dp,
-              Algorithm algorithm, double h2_tolerance);
+              Algorithm algorithm, double h2_tolerance,
+              const DpTable* read_dp = nullptr);
 
   /// Applies the input operators crossing the (s1, s2) cut — if any apply —
   /// and inserts the produced trees into the DP table under the algorithm's
@@ -45,7 +54,8 @@ class CcpCombiner {
 
   const Query* query_;
   PlanBuilder* builder_;
-  DpTable* dp_;
+  DpTable* dp_;             ///< target-class reads and all writes
+  const DpTable* read_dp_;  ///< source-class reads (== dp_ sequentially)
   Algorithm algorithm_;
   double h2_tolerance_;
   /// Scratch list reused across cuts (OpTrees appends into it) so the DP

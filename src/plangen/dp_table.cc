@@ -1,13 +1,27 @@
 #include "plangen/dp_table.h"
 
 #include <algorithm>
+#include <cassert>
+#include <utility>
 
 #include "catalog/functional_dependency.h"
+#include "plangen/keys.h"
 #include "plangen/plan_fds.h"
 
 namespace eadp {
 
 const std::vector<PlanPtr> DpTable::kEmpty;
+
+namespace {
+
+/// Null key-set pointers (no keys known) read as the empty set, mirroring
+/// PlanNode::keys().
+const KeySet kNoKeys;
+inline const KeySet& KeysOrEmpty(const KeySet* k) {
+  return k != nullptr ? *k : kNoKeys;
+}
+
+}  // namespace
 
 bool Dominates(const PlanNode& a, const PlanNode& b, bool use_cardinality,
                bool use_keys, bool use_full_fds) {
@@ -20,7 +34,7 @@ bool Dominates(const PlanNode& a, const PlanNode& b, bool use_cardinality,
     if (!a.duplicate_free && b.duplicate_free) return false;
     // Interned key sets: same pointer means equal contents, so only
     // distinct pointers pay for the pairwise subset comparison.
-    if (a.keys_ != b.keys_ && !KeysDominate(a.keys(), b.keys())) {
+    if (a.keys_ != b.keys_ && !KeySetDominates(a.keys(), b.keys())) {
       return false;
     }
   }
@@ -28,69 +42,203 @@ bool Dominates(const PlanNode& a, const PlanNode& b, bool use_cardinality,
   return true;
 }
 
-const std::vector<PlanPtr>& DpTable::Plans(RelSet rels) const {
-  auto it = table_.find(rels);
-  return it == table_.end() ? kEmpty : it->second;
+void DpTable::PlanClass::PushBack(PlanPtr p) {
+  plans.push_back(p);
+  cost.push_back(p->cost);
+  cardinality.push_back(p->cardinality);
+  raw_cardinality.push_back(p->raw_cardinality);
+  keys.push_back(p->keys_);
+  duplicate_free.push_back(p->duplicate_free ? 1 : 0);
 }
 
-std::vector<PlanPtr>& DpTable::ClassOf(RelSet rels) {
+void DpTable::PlanClass::ReplaceAt(size_t i, PlanPtr p) {
+  plans[i] = p;
+  cost[i] = p->cost;
+  cardinality[i] = p->cardinality;
+  raw_cardinality[i] = p->raw_cardinality;
+  keys[i] = p->keys_;
+  duplicate_free[i] = p->duplicate_free ? 1 : 0;
+}
+
+void DpTable::PlanClass::Resize(size_t n) {
+  plans.resize(n);
+  cost.resize(n);
+  cardinality.resize(n);
+  raw_cardinality.resize(n);
+  keys.resize(n);
+  duplicate_free.resize(n);
+}
+
+const std::vector<PlanPtr>& DpTable::Plans(RelSet rels) const {
+  auto it = table_.find(rels);
+  return it == table_.end() ? kEmpty : it->second.plans;
+}
+
+DpTable::PlanClass& DpTable::ClassOf(RelSet rels) {
   auto [it, inserted] = table_.try_emplace(rels);
-  if (inserted) it->second.reserve(4);
+  if (inserted) it->second.plans.reserve(4);
   return it->second;
 }
 
 PlanPtr DpTable::Best(RelSet rels) const {
-  const std::vector<PlanPtr>& plans = Plans(rels);
-  PlanPtr best = nullptr;
-  for (PlanPtr p : plans) {
-    if (!best || p->cost < best->cost) best = p;
+  auto it = table_.find(rels);
+  if (it == table_.end()) return nullptr;
+  const PlanClass& c = it->second;
+  size_t n = c.cost.size();
+  if (n == 0) return nullptr;
+  // Cost-column scan: index arithmetic over one contiguous array, the
+  // plan pointer is only fetched once at the end.
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (c.cost[i] < c.cost[best]) best = i;
   }
-  return best;
+  return c.plans[best];
 }
 
 bool DpTable::InsertIfCheaper(RelSet rels, PlanPtr plan) {
-  std::vector<PlanPtr>& list = ClassOf(rels);
-  if (list.empty()) {
-    list.push_back(plan);
+  PlanClass& c = ClassOf(rels);
+  if (c.plans.empty()) {
+    c.PushBack(plan);
     return true;
   }
-  if (plan->cost < list[0]->cost) {
-    list[0] = plan;
+  if (plan->cost < c.cost[0]) {
+    c.ReplaceAt(0, plan);
     return true;
   }
   return false;
 }
 
 void DpTable::Append(RelSet rels, PlanPtr plan) {
-  ClassOf(rels).push_back(plan);
+  ClassOf(rels).PushBack(plan);
 }
 
 bool DpTable::InsertPruned(RelSet rels, PlanPtr plan) {
-  std::vector<PlanPtr>& list = ClassOf(rels);
-  for (PlanPtr old : list) {
+  PlanClass& c = ClassOf(rels);
+  if (use_full_fds_ || !use_cardinality_ || !use_keys_) {
+    return InsertPrunedGeneric(c, plan);
+  }
+
+  // Hot path (default dominance test). Both scans walk the SoA columns;
+  // the numeric three-way comparison is evaluated branch-free — `&` over
+  // setcc results, no data-dependent jumps — because whether one plan's
+  // cost/cardinality triple dominates another's is essentially a coin
+  // flip to the branch predictor. Only candidates passing the numeric
+  // screen reach the key comparison (same-pointer fast path first: the
+  // per-arena interner makes equal key sets pointer-equal). Estimates are
+  // never NaN (the estimator clamps to kMaxCardinality and asserts, see
+  // DESIGN.md §3), so `<=` here is the exact negation of the `>` early
+  // exits in Dominates().
+  const double p_cost = plan->cost;
+  const double p_card = plan->cardinality;
+  const double p_raw = plan->raw_cardinality;
+  const KeySet* p_keys = plan->keys_;
+  const unsigned p_dup = plan->duplicate_free ? 1 : 0;
+  const size_t n = c.plans.size();
+
+  // Pass 1: reject the candidate if some incumbent dominates it.
+  for (size_t i = 0; i < n; ++i) {
+    unsigned numeric = static_cast<unsigned>(c.cost[i] <= p_cost) &
+                       static_cast<unsigned>(c.cardinality[i] <= p_card) &
+                       static_cast<unsigned>(c.raw_cardinality[i] <= p_raw);
+    // !(!a.dup && b.dup): the incumbent may only lack duplicate-freeness
+    // the candidate lacks too.
+    unsigned dup_ok = static_cast<unsigned>(c.duplicate_free[i]) | (p_dup ^ 1);
+    if ((numeric & dup_ok) != 0) {
+      const KeySet* i_keys = c.keys[i];
+      if (i_keys == p_keys ||
+          KeySetDominates(KeysOrEmpty(i_keys), KeysOrEmpty(p_keys))) {
+        ++pruned_candidates_;
+        return false;
+      }
+    }
+  }
+
+  // Pass 2: evict incumbents the candidate dominates, compacting all
+  // columns in lockstep.
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    unsigned numeric = static_cast<unsigned>(p_cost <= c.cost[i]) &
+                       static_cast<unsigned>(p_card <= c.cardinality[i]) &
+                       static_cast<unsigned>(p_raw <= c.raw_cardinality[i]);
+    unsigned dup_ok = p_dup | (c.duplicate_free[i] ^ 1u);
+    bool evict = false;
+    if ((numeric & dup_ok) != 0) {
+      const KeySet* i_keys = c.keys[i];
+      evict = p_keys == i_keys ||
+              KeySetDominates(KeysOrEmpty(p_keys), KeysOrEmpty(i_keys));
+    }
+    if (!evict) {
+      if (w != i) {
+        c.plans[w] = c.plans[i];
+        c.cost[w] = c.cost[i];
+        c.cardinality[w] = c.cardinality[i];
+        c.raw_cardinality[w] = c.raw_cardinality[i];
+        c.keys[w] = c.keys[i];
+        c.duplicate_free[w] = c.duplicate_free[i];
+      }
+      ++w;
+    }
+  }
+  pruned_existing_ += n - w;
+  c.Resize(w);
+  c.PushBack(plan);
+  return true;
+}
+
+bool DpTable::InsertPrunedGeneric(PlanClass& c, PlanPtr plan) {
+  for (PlanPtr old : c.plans) {
     if (Dominates(*old, *plan, use_cardinality_, use_keys_, use_full_fds_)) {
+      ++pruned_candidates_;
       return false;
     }
   }
-  list.erase(std::remove_if(list.begin(), list.end(),
-                            [&](PlanPtr old) {
-                              return Dominates(*plan, *old, use_cardinality_,
-                                               use_keys_, use_full_fds_);
-                            }),
-             list.end());
-  list.push_back(plan);
+  size_t w = 0;
+  size_t n = c.plans.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (!Dominates(*plan, *c.plans[i], use_cardinality_, use_keys_,
+                   use_full_fds_)) {
+      if (w != i) {
+        c.plans[w] = c.plans[i];
+        c.cost[w] = c.cost[i];
+        c.cardinality[w] = c.cardinality[i];
+        c.raw_cardinality[w] = c.raw_cardinality[i];
+        c.keys[w] = c.keys[i];
+        c.duplicate_free[w] = c.duplicate_free[i];
+      }
+      ++w;
+    }
+  }
+  pruned_existing_ += n - w;
+  c.Resize(w);
+  c.PushBack(plan);
   return true;
 }
 
 void DpTable::ReplaceSingle(RelSet rels, PlanPtr plan) {
-  std::vector<PlanPtr>& list = ClassOf(rels);
-  list.clear();
-  list.push_back(plan);
+  PlanClass& c = ClassOf(rels);
+  c.Resize(0);
+  c.PushBack(plan);
+}
+
+void DpTable::AdoptClassesFrom(DpTable& shard) {
+  for (auto& [rels, plan_class] : shard.table_) {
+    auto [it, inserted] = table_.try_emplace(rels, std::move(plan_class));
+    assert(inserted &&
+           "shard classes must be disjoint from the merged table: every "
+           "class has exactly one owning worker per subset-size level");
+    (void)it;
+    (void)inserted;
+  }
+  shard.table_.clear();
+  pruned_candidates_ += shard.pruned_candidates_;
+  pruned_existing_ += shard.pruned_existing_;
+  shard.pruned_candidates_ = 0;
+  shard.pruned_existing_ = 0;
 }
 
 size_t DpTable::TotalPlans() const {
   size_t n = 0;
-  for (const auto& [_, plans] : table_) n += plans.size();
+  for (const auto& [_, c] : table_) n += c.plans.size();
   return n;
 }
 

@@ -14,10 +14,29 @@
 // rehash, so generators may hold `const std::vector<PlanPtr>&` to the
 // source classes of a csg-cmp-pair while inserting the produced trees into
 // the (strictly larger) target class. dp_table_test pins this contract.
+//
+// Layout: each class keeps, next to its plan-pointer list, structure-of-
+// arrays mirrors of exactly the properties the dominance test reads (cost,
+// the two chained cardinalities, interned key-set pointer, duplicate-
+// freeness). The pruning scans of InsertPruned and the Best() cost scan
+// then walk small contiguous columns instead of dereferencing ~144-byte
+// PlanNodes — in the EA-Prune steady state the candidate is compared
+// against every incumbent of its class twice per insertion attempt, which
+// made the pointer-chasing loads the hottest path of the whole exact DP
+// (bench_fig16_runtime profiles). The numeric part of the comparison is
+// evaluated branch-free (see InsertPruned); the mirrors are maintained by
+// every insertion policy so the class is always consistent.
+//
+// Thread-compatibility: a DpTable is not internally synchronized. The
+// intra-query parallel DP (plangen/parallel_dp.h) runs one *shard* table
+// per worker for writes while all workers read a shared merged table of
+// completed smaller subset sizes; AdoptClassesFrom moves a shard's classes
+// into the merged table wholesale at the subset-size barrier.
 
 #ifndef EADP_PLANGEN_DP_TABLE_H_
 #define EADP_PLANGEN_DP_TABLE_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -76,20 +95,58 @@ class DpTable {
   /// Clears the class and stores exactly `plan` (H2's replacement step).
   void ReplaceSingle(RelSet rels, PlanPtr plan);
 
+  /// Moves every class of `shard` into this table and folds the shard's
+  /// pruning counters in; `shard` is left empty (its dominance options are
+  /// untouched, so a worker can keep reusing it across barriers). The
+  /// parallel DP's subset-size merge: shard classes must be disjoint from
+  /// this table's (each class has exactly one owning worker per level —
+  /// asserted), so "merging" is a wholesale vector move, never a
+  /// re-pruning, which is what keeps parallel class contents bit-identical
+  /// to the sequential run's.
+  void AdoptClassesFrom(DpTable& shard);
+
   /// Total number of plans across all classes.
   size_t TotalPlans() const;
   size_t NumClasses() const { return table_.size(); }
 
- private:
-  /// The class list for `rels`, created on demand with pre-reserved
-  /// capacity (the complete generators typically keep a handful of plans
-  /// per class, so the first few appends shouldn't each reallocate).
-  std::vector<PlanPtr>& ClassOf(RelSet rels);
+  /// Candidates rejected by the dominance test (InsertPruned returning
+  /// false) and incumbents evicted by a dominating newcomer, over the
+  /// table's lifetime (plus anything adopted from shards).
+  uint64_t pruned_candidates() const { return pruned_candidates_; }
+  uint64_t pruned_existing() const { return pruned_existing_; }
 
-  std::unordered_map<RelSet, std::vector<PlanPtr>, RelSet::Hasher> table_;
+ private:
+  /// One plan class: the plan list plus SoA mirrors of the dominance-
+  /// scanned properties (see file comment). `plans` is what Plans()
+  /// exposes; the mirrors are kept index-aligned with it.
+  struct PlanClass {
+    std::vector<PlanPtr> plans;
+    std::vector<double> cost;
+    std::vector<double> cardinality;
+    std::vector<double> raw_cardinality;
+    std::vector<const KeySet*> keys;
+    std::vector<uint8_t> duplicate_free;
+
+    void PushBack(PlanPtr p);
+    void ReplaceAt(size_t i, PlanPtr p);
+    void Resize(size_t n);
+  };
+
+  /// The class for `rels`, created on demand with pre-reserved capacity
+  /// (the complete generators typically keep a handful of plans per class,
+  /// so the first few appends shouldn't each reallocate).
+  PlanClass& ClassOf(RelSet rels);
+
+  /// The ablation-configurable slow path of InsertPruned (any dominance
+  /// option off-default); semantics identical to the fast path.
+  bool InsertPrunedGeneric(PlanClass& c, PlanPtr plan);
+
+  std::unordered_map<RelSet, PlanClass, RelSet::Hasher> table_;
   bool use_cardinality_ = true;
   bool use_keys_ = true;
   bool use_full_fds_ = false;
+  uint64_t pruned_candidates_ = 0;
+  uint64_t pruned_existing_ = 0;
   static const std::vector<PlanPtr> kEmpty;
 };
 

@@ -109,6 +109,14 @@ class PlanBuilder {
   uint64_t plans_built() const { return plans_built_; }
   const std::shared_ptr<PlanArena>& arena() const { return arena_; }
 
+  /// Re-namespaces the generated-column names ("$p…"/"$c…") this builder
+  /// emits; must be called before any plan is built. Parallel-DP worker
+  /// builders get per-worker namespaces so their plans can merge without
+  /// column collisions (see NameGenerator).
+  void SetNameSpace(std::string name_space) {
+    names_ = NameGenerator(std::move(name_space));
+  }
+
  private:
   PlanNode* NewNode() {
     ++plans_built_;

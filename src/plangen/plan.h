@@ -183,16 +183,34 @@ class PlanArena {
   /// Returns the unique arena-owned KeySet equal to `keys`.
   const KeySet* InternKeys(const KeySet& keys);
 
+  /// Ties `sibling`'s lifetime to this arena: plans built by the
+  /// intra-query parallel DP mix nodes from per-worker arenas (a node's
+  /// children may live in another worker's arena), so the primary arena
+  /// handed to OptimizeResult adopts every worker arena — one
+  /// shared_ptr<PlanArena> still keeps the entire plan alive, and the
+  /// single-arena ownership contract of DESIGN.md §6 is preserved for
+  /// callers.
+  void AdoptSibling(std::shared_ptr<PlanArena> sibling) {
+    siblings_.push_back(std::move(sibling));
+  }
+
   /// Raw arena access for side payloads.
   Arena& arena() { return arena_; }
 
   size_t nodes_allocated() const { return nodes_; }
-  size_t bytes_used() const { return arena_.bytes_used(); }
+  /// Bytes in this arena plus every adopted sibling (so cache accounting
+  /// sees the full footprint of a parallel-built plan).
+  size_t bytes_used() const {
+    size_t n = arena_.bytes_used();
+    for (const auto& s : siblings_) n += s->bytes_used();
+    return n;
+  }
 
  private:
   Arena arena_;
   /// Content hash -> interned KeySets with that hash (collision chain).
   std::unordered_map<uint64_t, std::vector<const KeySet*>> key_interner_;
+  std::vector<std::shared_ptr<PlanArena>> siblings_;
   size_t nodes_ = 0;
 };
 

@@ -24,7 +24,7 @@ void FoldOptionsIntoFingerprint(const OptimizerOptions& options,
   // fails this assert. If the new field steers planning, fold it below
   // (a missed knob would silently cross-serve plans between
   // configurations); either way, update the expected size deliberately.
-  static_assert(sizeof(OptimizerOptions) == 48,
+  static_assert(sizeof(OptimizerOptions) == 64,
                 "OptimizerOptions changed: fold any new planning-relevant "
                 "knob into the cache key below, then update this size");
   CanonicalWriter w(&fp->canonical);
@@ -41,6 +41,11 @@ void FoldOptionsIntoFingerprint(const OptimizerOptions& options,
   w.I32(options.idp_block_size);
   w.U8(static_cast<uint8_t>(options.idp_inner));
   w.I32(options.goo_merge_budget);
+  // dp_threads is folded even though parallel plans are cost-identical to
+  // sequential ones: generated-column names differ per worker count, so
+  // cross-serving would surprise anything reading plan internals. dp_pool
+  // is excluded like plan_cache itself — execution context, not identity.
+  w.I32(options.dp_threads);
 }
 
 }  // namespace

@@ -96,4 +96,32 @@ std::string PlanToJson(const PlanPtr& plan, const Catalog& catalog) {
   return out;
 }
 
+std::string OptimizeStatsToJson(const OptimizeStats& stats) {
+  std::string out = "{";
+  out += StrFormat("\"algorithm\":\"%s\"", AlgorithmName(stats.algorithm));
+  out += StrFormat(",\"ccp_count\":%llu",
+                   static_cast<unsigned long long>(stats.ccp_count));
+  out += StrFormat(",\"plans_built\":%llu",
+                   static_cast<unsigned long long>(stats.plans_built));
+  out += StrFormat(",\"table_plans\":%llu",
+                   static_cast<unsigned long long>(stats.table_plans));
+  out += StrFormat(",\"table_classes\":%llu",
+                   static_cast<unsigned long long>(stats.table_classes));
+  out += StrFormat(",\"pruned_candidates\":%llu",
+                   static_cast<unsigned long long>(stats.pruned_candidates));
+  out += StrFormat(",\"pruned_existing\":%llu",
+                   static_cast<unsigned long long>(stats.pruned_existing));
+  out += StrFormat(",\"dp_workers\":%d", stats.dp_workers);
+  out += StrFormat(",\"dp_barrier_wait_ms\":%.3f", stats.dp_barrier_wait_ms);
+  out += StrFormat(",\"optimize_ms\":%.3f", stats.optimize_ms);
+  out += stats.cache_hit ? ",\"cache_hit\":true}" : ",\"cache_hit\":false}";
+  return out;
+}
+
+std::string ExplainToJson(const OptimizeResult& result,
+                          const Catalog& catalog) {
+  return "{\"stats\":" + OptimizeStatsToJson(result.stats) +
+         ",\"plan\":" + PlanToJson(result.plan, catalog) + "}";
+}
+
 }  // namespace eadp

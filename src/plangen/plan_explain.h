@@ -16,6 +16,7 @@
 
 #include "catalog/catalog.h"
 #include "plangen/plan.h"
+#include "plangen/plangen.h"
 
 namespace eadp {
 
@@ -24,6 +25,17 @@ std::string PlanToDot(const PlanPtr& plan, const Catalog& catalog);
 
 /// JSON rendering: {"op": ..., "card": ..., "cost": ..., "children": [...]}.
 std::string PlanToJson(const PlanPtr& plan, const Catalog& catalog);
+
+/// JSON rendering of one run's OptimizeStats, including the DP hot-path
+/// counters (csg-cmp-pairs tried, dominance prunes, barrier wait, worker
+/// count). Counter fields are deterministic for a fixed query + options;
+/// only the *_ms fields vary run to run (plan_explain_test pins the
+/// counters through this rendering).
+std::string OptimizeStatsToJson(const OptimizeStats& stats);
+
+/// The full explain document: {"stats": <OptimizeStatsToJson>,
+/// "plan": <PlanToJson>}.
+std::string ExplainToJson(const OptimizeResult& result, const Catalog& catalog);
 
 }  // namespace eadp
 

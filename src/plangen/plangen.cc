@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "conflict/conflict_detector.h"
 #include "hypergraph/dphyp_enumerator.h"
 #include "plangen/dp_combine.h"
 #include "plangen/dp_table.h"
 #include "plangen/large_query.h"
+#include "plangen/parallel_dp.h"
 #include "plangen/plan_cache.h"
 
 namespace eadp {
@@ -41,7 +44,7 @@ class Generator {
       : query_(query),
         options_(options),
         conflicts_(query),
-        builder_(&query, &conflicts_, BuilderWithFds(options),
+        builder_(&query, &conflicts_, EffectiveBuilderOptions(options),
                  std::make_shared<PlanArena>()),
         combiner_(&query, &builder_, &dp_, options.algorithm,
                   options.h2_tolerance) {
@@ -55,12 +58,6 @@ class Generator {
     dp_.Reserve(size_t{1} << std::min(n, 12));
   }
 
-  static BuilderOptions BuilderWithFds(const OptimizerOptions& options) {
-    BuilderOptions b = options.builder;
-    b.track_fds |= options.full_fd_dominance;
-    return b;
-  }
-
   OptimizeResult Run() {
     auto start = std::chrono::steady_clock::now();
     OptimizeResult result;
@@ -71,9 +68,34 @@ class Generator {
       dp_.Append(RelSet::Single(r), builder_.MakeScan(r));
     }
 
-    result.stats.ccp_count = EnumerateCsgCmpPairs(
-        conflicts_.hypergraph(),
-        [this](RelSet s1, RelSet s2) { combiner_.Combine(s1, s2); });
+    uint64_t worker_plans_built = 0;
+    const int dp_workers = std::max(options_.dp_threads, 1);
+    if (dp_workers > 1 && all.Count() >= 3) {
+      // Intra-query parallel DP (parallel_dp.h): levels over |S1 ∪ S2|
+      // with per-worker shards, cost-identical to the sequential loop
+      // below at any worker count. A transient pool is spun up when the
+      // caller didn't inject one (FanOut runs worker 0 on this thread, so
+      // W workers need W-1 pool slots).
+      ThreadPool* pool = options_.dp_pool;
+      std::unique_ptr<ThreadPool> local_pool;
+      if (pool == nullptr) {
+        local_pool = std::make_unique<ThreadPool>(dp_workers - 1);
+        pool = local_pool.get();
+      }
+      std::vector<std::vector<CcpPair>> levels;
+      result.stats.ccp_count =
+          CollectCsgCmpPairsBySize(conflicts_.hypergraph(), &levels);
+      ParallelDp parallel(&query_, &conflicts_, options_, &builder_, &dp_,
+                          dp_workers, pool, "w");
+      parallel.RunLevels(levels);
+      worker_plans_built = parallel.stats().worker_plans_built;
+      result.stats.dp_barrier_wait_ms = parallel.stats().barrier_wait_ms;
+      result.stats.dp_workers = dp_workers;
+    } else {
+      result.stats.ccp_count = EnumerateCsgCmpPairs(
+          conflicts_.hypergraph(),
+          [this](RelSet s1, RelSet s2) { combiner_.Combine(s1, s2); });
+    }
 
     if (all.Count() == 1) {
       result.plan = builder_.FinalizeTop(dp_.Best(all));
@@ -86,9 +108,11 @@ class Generator {
       result.plan = dp_.Best(all);
     }
 
-    result.stats.plans_built = builder_.plans_built();
+    result.stats.plans_built = builder_.plans_built() + worker_plans_built;
     result.stats.table_plans = dp_.TotalPlans();
     result.stats.table_classes = dp_.NumClasses();
+    result.stats.pruned_candidates = dp_.pruned_candidates();
+    result.stats.pruned_existing = dp_.pruned_existing();
     result.stats.optimize_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)

@@ -60,6 +60,7 @@
 namespace eadp {
 
 class PlanCache;
+class ThreadPool;
 
 enum class Algorithm { kDphyp, kEaAll, kEaPrune, kH1, kH2, kGoo, kIdp };
 
@@ -128,7 +129,35 @@ struct OptimizerOptions {
   /// owned; must outlive the optimization calls. Unsatisfiable results
   /// (null plan) are never cached.
   PlanCache* plan_cache = nullptr;
+
+  // ---- Intra-query parallel DP (plangen/parallel_dp.h) ----
+
+  /// DP workers for one exhaustive enumeration (and for kIdp's bounded
+  /// subproblems): csg-cmp-pairs are processed level-by-level over the
+  /// subset size |S1 ∪ S2|, spread across this many workers within each
+  /// level. 1 (the default) runs the plain sequential DP loop — small
+  /// queries pay nothing. Any worker count produces plans cost-identical
+  /// to the sequential run (bit-identical DP-table contents by
+  /// construction; pinned by parallel_dp_test). Folded into the plan-cache
+  /// fingerprint only via this knob — `dp_pool` is execution context, not
+  /// plan-relevant.
+  int dp_threads = 1;
+  /// Pool the extra DP workers run on (worker 0 is the calling thread, so
+  /// dp_threads W needs W-1 pool slots). Borrowed, not owned; may be
+  /// shared with the batch/race entry points. When null and dp_threads >
+  /// 1, Optimize spins up a transient pool for the run.
+  ThreadPool* dp_pool = nullptr;
 };
+
+/// Builder options as the generators actually instantiate them: the
+/// full-FD dominance ablation needs FD sets tracked on every node. Used by
+/// both the sequential Generator and the parallel DP's worker builders so
+/// the two construct plans identically.
+inline BuilderOptions EffectiveBuilderOptions(const OptimizerOptions& o) {
+  BuilderOptions b = o.builder;
+  b.track_fds |= o.full_fd_dominance;
+  return b;
+}
 
 struct OptimizeStats {
   uint64_t ccp_count = 0;       ///< csg-cmp-pairs (or candidate cuts) tried
@@ -143,6 +172,19 @@ struct OptimizeStats {
   /// other counters then describe the run that originally built the plan,
   /// while optimize_ms is the fingerprint+probe time of *this* call.
   bool cache_hit = false;
+
+  // DP hot-path counters (exhaustive generators and kIdp subproblems;
+  // zero for strategies without a DP table, e.g. kGoo).
+  /// Candidate plans rejected by the dominance test at insertion.
+  uint64_t pruned_candidates = 0;
+  /// Stored plans evicted by a dominating newcomer.
+  uint64_t pruned_existing = 0;
+  /// Milliseconds the coordinating thread spent blocked on peer DP workers
+  /// at subset-size barriers (0 when the DP ran sequentially).
+  double dp_barrier_wait_ms = 0;
+  /// DP workers the run was configured with (clamped OptimizerOptions::
+  /// dp_threads; 1 = sequential).
+  int dp_workers = 1;
 };
 
 struct OptimizeResult {

@@ -11,6 +11,8 @@
 
 #include <vector>
 
+#include "catalog/functional_dependency.h"
+#include "plangen/keys.h"
 #include "plangen/plan.h"
 
 namespace eadp {
@@ -133,6 +135,34 @@ TEST_F(DpTableScaleTest, InsertPrunedKeepsParetoFrontierAtScale) {
   // Reserve mid-life must not disturb stored plans.
   table_.Reserve(1u << 12);
   EXPECT_EQ(table_.Plans(s).size(), 2u);
+}
+
+
+TEST(KeySetDominance, AgreesWithSpanKeysDominateExhaustively) {
+  // The branchless KeySetDominates (keys.h) is the hot-loop twin of the
+  // span-based KeysDominate (catalog/functional_dependency.h); this pins
+  // semantic agreement on every pair of key sets over a small universe.
+  // Key sets are built through KeySet::Insert, so both sides compare the
+  // same minimalized contents — exactly what plan nodes carry.
+  std::vector<AttrSet> universe;
+  for (uint64_t bits = 1; bits < 8; ++bits) universe.emplace_back(bits);
+  std::vector<KeySet> sets;
+  std::vector<std::vector<AttrSet>> raw;
+  for (uint32_t pick = 0; pick < (1u << universe.size()); ++pick) {
+    KeySet ks;
+    for (size_t i = 0; i < universe.size(); ++i) {
+      if (pick & (1u << i)) ks.Insert(universe[i]);
+    }
+    sets.push_back(ks);
+    raw.emplace_back(ks.begin(), ks.end());
+  }
+  for (size_t a = 0; a < sets.size(); ++a) {
+    for (size_t b = 0; b < sets.size(); ++b) {
+      EXPECT_EQ(KeySetDominates(sets[a], sets[b]),
+                KeysDominate(raw[a], raw[b]))
+          << "a=" << a << " b=" << b;
+    }
+  }
 }
 
 }  // namespace

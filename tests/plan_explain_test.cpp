@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
 #include "plangen/plangen.h"
 #include "queries/tpch.h"
 
@@ -72,6 +73,70 @@ TEST(PlanExplain, GroupNodesHighlighted) {
   std::string dot = PlanToDot(r.plan, q.catalog());
   // Ex pushes groupings: the dot output marks them.
   EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+// Pins the stats JSON rendering: the DP hot-path counters (ccps seen,
+// dominance prunes, worker count) are deterministic for a fixed query +
+// options and must round-trip into the explain document exactly. The
+// *_ms fields vary run to run, so the pin matches field presence and
+// the counter values, not the full string.
+TEST(PlanExplain, StatsJsonPinsHotPathCounters) {
+  Query q = MakeTpchEx();
+  OptimizerOptions opt;
+  opt.algorithm = Algorithm::kEaPrune;
+  OptimizeResult r = Optimize(q, opt);
+  std::string json = OptimizeStatsToJson(r.stats);
+
+  EXPECT_NE(json.find("\"algorithm\":\"EA-Prune\""), std::string::npos) << json;
+  EXPECT_NE(json.find(StrFormat("\"ccp_count\":%llu",
+                                static_cast<unsigned long long>(
+                                    r.stats.ccp_count))),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find(StrFormat("\"plans_built\":%llu",
+                                static_cast<unsigned long long>(
+                                    r.stats.plans_built))),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find(StrFormat("\"pruned_candidates\":%llu",
+                                static_cast<unsigned long long>(
+                                    r.stats.pruned_candidates))),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find(StrFormat("\"pruned_existing\":%llu",
+                                static_cast<unsigned long long>(
+                                    r.stats.pruned_existing))),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"dp_workers\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dp_barrier_wait_ms\":0.000"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"optimize_ms\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_hit\":false"), std::string::npos) << json;
+
+  // Sequential and parallel runs of the same query must agree on every
+  // counter; only dp_workers (and the wall-clock fields) may differ.
+  OptimizerOptions par = opt;
+  par.dp_threads = 4;
+  OptimizeResult rp = Optimize(q, par);
+  EXPECT_EQ(rp.stats.ccp_count, r.stats.ccp_count);
+  EXPECT_EQ(rp.stats.plans_built, r.stats.plans_built);
+  EXPECT_EQ(rp.stats.pruned_candidates, r.stats.pruned_candidates);
+  EXPECT_EQ(rp.stats.pruned_existing, r.stats.pruned_existing);
+  std::string par_json = OptimizeStatsToJson(rp.stats);
+  EXPECT_NE(par_json.find("\"dp_workers\":4"), std::string::npos) << par_json;
+
+  // The full explain document nests stats + plan and stays balanced.
+  std::string doc = ExplainToJson(r, q.catalog());
+  EXPECT_EQ(doc.find("{\"stats\":{"), 0u) << doc;
+  EXPECT_NE(doc.find(",\"plan\":{"), std::string::npos) << doc;
+  int depth = 0;
+  for (char c : doc) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
 }
 
 }  // namespace
