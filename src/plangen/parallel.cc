@@ -110,10 +110,10 @@ BatchResult OptimizeBatch(std::span<const Query> queries,
 OptimizeResult OptimizeAdaptiveConcurrent(const Query& query,
                                           const OptimizerOptions& options,
                                           ThreadPool* pool) {
-  if (options.plan_cache != nullptr) {
+  if (options.plan_cache != nullptr || options.persistent_cache != nullptr) {
     // Probe before racing: a hit saves both strategies, and the shared
-    // wrapper clears plan_cache so the fallback path below (which funnels
-    // into OptimizeAdaptive) cannot double-probe or double-insert.
+    // wrapper clears both cache pointers so the fallback path below (which
+    // funnels into OptimizeAdaptive) cannot double-probe or double-insert.
     return OptimizeThroughCache(
         query, options, [pool](const Query& q, const OptimizerOptions& o) {
           return OptimizeAdaptiveConcurrent(q, o, pool);

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <utility>
 
+#include "plangen/persistent_cache.h"
+
 namespace eadp {
 
 namespace {
@@ -24,7 +26,10 @@ void FoldOptionsIntoFingerprint(const OptimizerOptions& options,
   // fails this assert. If the new field steers planning, fold it below
   // (a missed knob would silently cross-serve plans between
   // configurations); either way, update the expected size deliberately.
-  static_assert(sizeof(OptimizerOptions) == 64,
+  // (72 = the 64 bytes of PR 5 plus the persistent_cache pointer, which
+  // is excluded from the key like plan_cache and dp_pool — both tiers
+  // must agree on one key for promotion to be coherent.)
+  static_assert(sizeof(OptimizerOptions) == 72,
                 "OptimizerOptions changed: fold any new planning-relevant "
                 "knob into the cache key below, then update this size");
   CanonicalWriter w(&fp->canonical);
@@ -175,25 +180,52 @@ OptimizeResult OptimizeThroughCache(
     const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&
         plan_fresh) {
   auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
   QueryFingerprint fp = PlanCacheKey(query, options);
-  if (PlanCache::Handle hit = options.plan_cache->Lookup(fp)) {
-    // Copying the cached OptimizeResult copies its arena shared_ptr, so
-    // the served plan stays alive past eviction without the handle.
-    OptimizeResult result = hit->result;
-    result.stats.cache_hit = true;
-    result.stats.optimize_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    return result;
+  if (options.plan_cache != nullptr) {
+    if (PlanCache::Handle hit = options.plan_cache->Lookup(fp)) {
+      // Copying the cached OptimizeResult copies its arena shared_ptr, so
+      // the served plan stays alive past eviction without the handle.
+      OptimizeResult result = hit->result;
+      result.stats.cache_hit = true;
+      result.stats.cache_tier = 1;
+      result.stats.optimize_ms = elapsed_ms();
+      return result;
+    }
+  }
+  if (options.persistent_cache != nullptr) {
+    OptimizeResult revived;
+    if (options.persistent_cache->Get(fp, &revived)) {
+      // Promote into the memory tier so the shape's next arrival is a
+      // probe, not a disk read + decode. The promoted copy is what we
+      // serve now (its arena is shared), matching the L1-hit path.
+      revived.stats.cache_hit = true;
+      revived.stats.cache_tier = 2;
+      revived.stats.optimize_ms = elapsed_ms();
+      if (options.plan_cache != nullptr && revived.plan != nullptr) {
+        options.plan_cache->Insert(fp, revived);
+      }
+      return revived;
+    }
   }
   OptimizerOptions uncached = options;
   uncached.plan_cache = nullptr;
+  uncached.persistent_cache = nullptr;
   OptimizeResult result = plan_fresh(query, uncached);
   // Unsatisfiable queries stay uncached: a null plan carries no arena to
   // keep alive and costs nothing to rediscover.
   if (result.plan != nullptr) {
-    options.plan_cache->Insert(std::move(fp), result);
+    // Write-behind to disk first: Put copies what it needs, Insert moves.
+    if (options.persistent_cache != nullptr) {
+      options.persistent_cache->Put(fp, result);
+    }
+    if (options.plan_cache != nullptr) {
+      options.plan_cache->Insert(std::move(fp), result);
+    }
   }
   return result;
 }

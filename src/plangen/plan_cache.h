@@ -182,10 +182,16 @@ QueryFingerprint PlanCacheKey(const Query& query,
 /// query *and the planning-relevant OptimizerOptions knobs* (one cache
 /// can serve mixed configurations — the same query under different
 /// algorithms/ablations/knobs occupies distinct entries and is never
-/// cross-served), serves a hit (stats.cache_hit set, optimize_ms = probe
-/// time), or plans fresh via `plan_fresh` — called with plan_cache
-/// cleared so inner facade calls don't re-probe — and inserts any
-/// satisfiable result. Precondition: options.plan_cache != nullptr.
+/// cross-served), then probes tier by tier: the memory cache first
+/// (stats.cache_tier = 1 on a hit), then the persistent disk tier
+/// (plangen/persistent_cache.h; a hit decodes the stored blob, is
+/// promoted into the memory tier, and reports cache_tier = 2). On a full
+/// miss it plans fresh via `plan_fresh` — called with both cache
+/// pointers cleared so inner facade calls don't re-probe — writes any
+/// satisfiable result behind to the disk tier and inserts it into the
+/// memory tier. Hits of either tier set stats.cache_hit with optimize_ms
+/// = probe (+decode) time. Precondition: at least one of
+/// options.plan_cache / options.persistent_cache is non-null.
 OptimizeResult OptimizeThroughCache(
     const Query& query, const OptimizerOptions& options,
     const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&

@@ -114,7 +114,8 @@ std::string OptimizeStatsToJson(const OptimizeStats& stats) {
   out += StrFormat(",\"dp_workers\":%d", stats.dp_workers);
   out += StrFormat(",\"dp_barrier_wait_ms\":%.3f", stats.dp_barrier_wait_ms);
   out += StrFormat(",\"optimize_ms\":%.3f", stats.optimize_ms);
-  out += stats.cache_hit ? ",\"cache_hit\":true}" : ",\"cache_hit\":false}";
+  out += stats.cache_hit ? ",\"cache_hit\":true" : ",\"cache_hit\":false";
+  out += StrFormat(",\"cache_tier\":%d}", stats.cache_tier);
   return out;
 }
 

@@ -1,0 +1,636 @@
+#include "plangen/plan_serde.h"
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/binio.h"
+#include "plangen/plan.h"
+
+namespace eadp {
+
+namespace {
+
+// Enum upper bounds the decoder enforces. Centralized so a new enumerator
+// has one place to extend (and the version gets bumped with it).
+constexpr uint8_t kMaxPlanOp = static_cast<uint8_t>(PlanOp::kFinalMap);
+constexpr uint8_t kMaxAggKind = static_cast<uint8_t>(AggKind::kAvg);
+constexpr uint8_t kMaxMapKind = static_cast<uint8_t>(MapExpr::Kind::kConstInt);
+constexpr uint8_t kMaxAlgorithm = static_cast<uint8_t>(Algorithm::kIdp);
+constexpr int kMaxCacheTier = 2;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Assigns dense indices to distinct payload pointers in first-encounter
+/// order. Ref() returns the wire reference: 0 for null, index + 1
+/// otherwise — the same first-encounter discipline on a decoded plan
+/// reproduces identical indices, which is what makes re-encoding
+/// byte-identical.
+template <typename T>
+class PtrRegistry {
+ public:
+  uint32_t Ref(const T* p) {
+    if (p == nullptr) return 0;
+    auto [it, inserted] = index_.try_emplace(p, order_.size());
+    if (inserted) order_.push_back(p);
+    return static_cast<uint32_t>(it->second) + 1;
+  }
+  const std::vector<const T*>& order() const { return order_; }
+
+ private:
+  std::vector<const T*> order_;
+  std::unordered_map<const T*, size_t> index_;
+};
+
+/// KeySets dedup by *content*, not pointer: the decoder interns them
+/// (PlanArena::InternKeys), so two content-equal sets from different
+/// worker arenas of a parallel build would collapse into one pointer on
+/// decode — pointer-keyed dedup would then re-encode one table entry
+/// where the original had two, breaking byte-identity.
+class KeySetRegistry {
+ public:
+  uint32_t Ref(const KeySet* p) {
+    if (p == nullptr) return 0;
+    auto& chain = index_[p->Hash()];
+    for (uint32_t idx : chain) {
+      if (*order_[idx] == *p) return idx + 1;
+    }
+    chain.push_back(static_cast<uint32_t>(order_.size()));
+    order_.push_back(p);
+    return static_cast<uint32_t>(order_.size());
+  }
+  const std::vector<const KeySet*>& order() const { return order_; }
+
+ private:
+  std::vector<const KeySet*> order_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index_;
+};
+
+void PutSet(std::string* out, Bitset128 s) {
+  PutVarint64(out, s.low());
+  PutVarint64(out, s.high());
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutLengthPrefixed(out, s);
+}
+
+void PutKeySet(std::string* out, const KeySet& ks) {
+  PutVarint32(out, static_cast<uint32_t>(ks.size()));
+  for (AttrSet key : ks) PutSet(out, key);
+}
+
+void PutAggregateFunction(std::string* out, const AggregateFunction& f) {
+  PutStr(out, f.output);
+  out->push_back(static_cast<char>(f.kind));
+  PutZigzag(out, f.arg);
+  out->push_back(f.distinct ? 1 : 0);
+}
+
+void PutCrossing(std::string* out, const CrossingInfo& ci) {
+  PutVarint32(out, static_cast<uint32_t>(ci.op_indices.size()));
+  for (int idx : ci.op_indices) PutZigzag(out, idx);
+  const auto& eqs = ci.predicate.equalities();
+  PutVarint32(out, static_cast<uint32_t>(eqs.size()));
+  for (const AttrEquality& eq : eqs) {
+    PutZigzag(out, eq.left_attr);
+    PutZigzag(out, eq.right_attr);
+  }
+  PutF64(out, ci.selectivity);
+  PutVarint32(out, static_cast<uint32_t>(ci.groupjoin_aggs.size()));
+  for (const AggregateFunction& f : ci.groupjoin_aggs) {
+    PutAggregateFunction(out, f);
+  }
+}
+
+void PutDefaults(std::string* out, const std::vector<SymbolicDefault>& v) {
+  PutVarint32(out, static_cast<uint32_t>(v.size()));
+  for (const SymbolicDefault& d : v) {
+    PutStr(out, d.column);
+    out->push_back(d.one ? 1 : 0);
+  }
+}
+
+void PutExecAggs(std::string* out, const std::vector<ExecAggregate>& v) {
+  PutVarint32(out, static_cast<uint32_t>(v.size()));
+  for (const ExecAggregate& a : v) {
+    PutStr(out, a.output);
+    out->push_back(static_cast<char>(a.kind));
+    PutStr(out, a.arg);
+    out->push_back(a.distinct ? 1 : 0);
+    PutVarint32(out, static_cast<uint32_t>(a.multipliers.size()));
+    for (const std::string& m : a.multipliers) PutStr(out, m);
+  }
+}
+
+void PutFinalMap(std::string* out, const FinalMapInfo& fm) {
+  PutVarint32(out, static_cast<uint32_t>(fm.exprs.size()));
+  for (const MapExpr& e : fm.exprs) {
+    PutStr(out, e.output);
+    out->push_back(static_cast<char>(e.kind));
+    PutStr(out, e.arg);
+    PutStr(out, e.arg2);
+    PutVarint32(out, static_cast<uint32_t>(e.counts.size()));
+    for (const std::string& c : e.counts) PutStr(out, c);
+    PutZigzag(out, e.const_value);
+  }
+  PutVarint32(out, static_cast<uint32_t>(fm.output_columns.size()));
+  for (const std::string& c : fm.output_columns) PutStr(out, c);
+}
+
+void PutFdSet(std::string* out, const FdSet& fds) {
+  PutVarint32(out, static_cast<uint32_t>(fds.fds().size()));
+  for (const FunctionalDependency& fd : fds.fds()) {
+    PutSet(out, fd.lhs);
+    PutSet(out, fd.rhs);
+  }
+}
+
+void PutAggState(std::string* out, const PlanAggState& st) {
+  PutVarint32(out, static_cast<uint32_t>(st.slots.size()));
+  for (const AggSlot& s : st.slots) {
+    PutZigzag(out, s.query_index);
+    out->push_back(s.partialized ? 1 : 0);
+    PutStr(out, s.partial_column);
+    PutZigzag(out, s.home_count);
+  }
+  PutVarint32(out, static_cast<uint32_t>(st.counts.size()));
+  for (const CountColumn& c : st.counts) PutStr(out, c.column);
+}
+
+void PutStats(std::string* out, const OptimizeStats& s) {
+  PutVarint64(out, s.ccp_count);
+  PutVarint64(out, s.plans_built);
+  PutVarint64(out, s.table_plans);
+  PutVarint64(out, s.table_classes);
+  PutF64(out, s.optimize_ms);
+  out->push_back(static_cast<char>(s.algorithm));
+  out->push_back(s.cache_hit ? 1 : 0);
+  PutVarint64(out, s.pruned_candidates);
+  PutVarint64(out, s.pruned_existing);
+  PutF64(out, s.dp_barrier_wait_ms);
+  PutZigzag(out, s.dp_workers);
+  out->push_back(static_cast<char>(s.cache_tier));
+}
+
+/// Postorder walk with pointer dedup: children precede parents, every
+/// node appears exactly once (plans are DAGs — finalization steps and
+/// parallel builds share subtrees). Deterministic in the plan structure.
+void CollectNodes(PlanPtr root, std::vector<PlanPtr>* order,
+                  std::unordered_map<PlanPtr, uint32_t>* index) {
+  struct Frame {
+    PlanPtr node;
+    bool expanded;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, false});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (index->count(f.node) != 0) continue;
+    if (f.expanded) {
+      index->emplace(f.node, static_cast<uint32_t>(order->size()));
+      order->push_back(f.node);
+    } else {
+      stack.push_back({f.node, true});
+      if (f.node->right != nullptr) stack.push_back({f.node->right, false});
+      if (f.node->left != nullptr) stack.push_back({f.node->left, false});
+    }
+  }
+}
+
+}  // namespace
+
+std::string EncodePlan(const OptimizeResult& result) {
+  std::string payload;
+  PutStats(&payload, result.stats);
+  payload.push_back(result.plan != nullptr ? 1 : 0);
+
+  if (result.plan != nullptr) {
+    std::vector<PlanPtr> nodes;
+    std::unordered_map<PlanPtr, uint32_t> node_index;
+    CollectNodes(result.plan, &nodes, &node_index);
+
+    // Register payloads in node order so table order == first-encounter
+    // order (the invariant re-encode byte-identity rests on).
+    KeySetRegistry keysets;
+    PtrRegistry<CrossingInfo> crossings;
+    PtrRegistry<std::vector<SymbolicDefault>> defaults;
+    PtrRegistry<std::vector<ExecAggregate>> execaggs;
+    PtrRegistry<FinalMapInfo> finalmaps;
+    PtrRegistry<FdSet> fdsets;
+    PtrRegistry<PlanAggState> aggstates;
+    for (PlanPtr n : nodes) {
+      keysets.Ref(n->keys_);
+      crossings.Ref(n->crossing);
+      defaults.Ref(n->left_defaults_);
+      defaults.Ref(n->right_defaults_);
+      execaggs.Ref(n->group_aggs_);
+      finalmaps.Ref(n->final_map_);
+      fdsets.Ref(n->fds_);
+      aggstates.Ref(n->agg_state_);
+    }
+
+    PutVarint32(&payload, static_cast<uint32_t>(keysets.order().size()));
+    for (const KeySet* ks : keysets.order()) PutKeySet(&payload, *ks);
+    PutVarint32(&payload, static_cast<uint32_t>(crossings.order().size()));
+    for (const CrossingInfo* ci : crossings.order()) PutCrossing(&payload, *ci);
+    PutVarint32(&payload, static_cast<uint32_t>(defaults.order().size()));
+    for (const auto* d : defaults.order()) PutDefaults(&payload, *d);
+    PutVarint32(&payload, static_cast<uint32_t>(execaggs.order().size()));
+    for (const auto* a : execaggs.order()) PutExecAggs(&payload, *a);
+    PutVarint32(&payload, static_cast<uint32_t>(finalmaps.order().size()));
+    for (const FinalMapInfo* fm : finalmaps.order()) PutFinalMap(&payload, *fm);
+    PutVarint32(&payload, static_cast<uint32_t>(fdsets.order().size()));
+    for (const FdSet* f : fdsets.order()) PutFdSet(&payload, *f);
+    PutVarint32(&payload, static_cast<uint32_t>(aggstates.order().size()));
+    for (const PlanAggState* st : aggstates.order()) PutAggState(&payload, *st);
+
+    PutVarint32(&payload, static_cast<uint32_t>(nodes.size()));
+    for (PlanPtr n : nodes) {
+      payload.push_back(static_cast<char>(n->op));
+      PutSet(&payload, n->rels);
+      PutZigzag(&payload, n->relation);
+      PutVarint32(&payload,
+                  n->left == nullptr ? 0 : node_index.at(n->left) + 1);
+      PutVarint32(&payload,
+                  n->right == nullptr ? 0 : node_index.at(n->right) + 1);
+      PutVarint32(&payload, crossings.Ref(n->crossing));
+      PutVarint32(&payload, defaults.Ref(n->left_defaults_));
+      PutVarint32(&payload, defaults.Ref(n->right_defaults_));
+      PutSet(&payload, n->group_by);
+      PutVarint32(&payload, execaggs.Ref(n->group_aggs_));
+      PutVarint32(&payload, finalmaps.Ref(n->final_map_));
+      PutF64(&payload, n->cardinality);
+      PutF64(&payload, n->raw_cardinality);
+      PutF64(&payload, n->pregroup_cardinality);
+      PutF64(&payload, n->cost);
+      PutVarint32(&payload, keysets.Ref(n->keys_));
+      payload.push_back(n->duplicate_free ? 1 : 0);
+      PutVarint32(&payload, fdsets.Ref(n->fds_));
+      PutVarint32(&payload, aggstates.Ref(n->agg_state_));
+    }
+    PutVarint32(&payload, node_index.at(result.plan) + 1);
+  }
+
+  std::string blob;
+  blob.reserve(16 + payload.size());
+  PutFixed32(&blob, kPlanBlobMagic);
+  PutFixed32(&blob, kPlanBlobVersion);
+  PutFixed32(&blob, Crc32(payload));
+  PutFixed32(&blob, static_cast<uint32_t>(payload.size()));
+  blob += payload;
+  return blob;
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A u8 that must be exactly 0 or 1: anything else is rejected so every
+/// accepted blob is in canonical form (re-encode byte-identity would
+/// otherwise silently normalize a 2 into a 1).
+bool ReadBool(BinReader* r) {
+  uint8_t v = r->ReadU8();
+  if (v > 1) r->Fail();
+  return v == 1;
+}
+
+uint8_t ReadEnum(BinReader* r, uint8_t max) {
+  uint8_t v = r->ReadU8();
+  if (v > max) r->Fail();
+  return v;
+}
+
+Bitset128 ReadSet(BinReader* r) {
+  uint64_t low = r->ReadVarint64();
+  uint64_t high = r->ReadVarint64();
+  return Bitset128((static_cast<Bitset128::Word>(high) << 64) | low);
+}
+
+/// Zigzag varint that must fit a (possibly negative) int.
+int ReadInt(BinReader* r) {
+  int64_t v = r->ReadZigzag();
+  if (v < INT32_MIN || v > INT32_MAX) {
+    r->Fail();
+    return 0;
+  }
+  return static_cast<int>(v);
+}
+
+/// Element count for a sequence whose elements occupy >= 1 byte each: any
+/// count exceeding the remaining bytes is structurally impossible, so it
+/// is rejected *before* any allocation sized by it.
+uint32_t ReadCount(BinReader* r) {
+  uint32_t n = r->ReadVarint32();
+  if (n > r->remaining()) r->Fail();
+  return n;
+}
+
+std::string ReadStr(BinReader* r) { return r->ReadLengthPrefixed(); }
+
+/// Table reference: 0 = null, else 1-based index into `table`.
+template <typename T>
+const T* ReadRef(BinReader* r, const std::vector<const T*>& table) {
+  uint32_t ref = r->ReadVarint32();
+  if (ref == 0) return nullptr;
+  if (ref > table.size()) {
+    r->Fail();
+    return nullptr;
+  }
+  return table[ref - 1];
+}
+
+bool ReadKeySet(BinReader* r, KeySet* out) {
+  uint32_t n = ReadCount(r);
+  if (r->failed() || n > kMaxKeysPerPlan) {
+    r->Fail();
+    return false;
+  }
+  std::array<AttrSet, kMaxKeysPerPlan> raw{};
+  for (uint32_t i = 0; i < n; ++i) raw[i] = ReadSet(r);
+  if (r->failed()) return false;
+  KeySet ks;
+  for (uint32_t i = 0; i < n; ++i) ks.Insert(raw[i]);
+  // Canonical-form check: Insert() sorts and minimizes, so a round-tripped
+  // KeySet only matches the raw sequence if the encoder wrote it in the
+  // canonical (sorted, minimal) form genuine encodes always have.
+  if (ks.size() != n) {
+    r->Fail();
+    return false;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    if (ks[i] != raw[i]) {
+      r->Fail();
+      return false;
+    }
+  }
+  *out = ks;
+  return true;
+}
+
+AggregateFunction ReadAggregateFunction(BinReader* r) {
+  AggregateFunction f;
+  f.output = ReadStr(r);
+  f.kind = static_cast<AggKind>(ReadEnum(r, kMaxAggKind));
+  f.arg = ReadInt(r);
+  f.distinct = ReadBool(r);
+  return f;
+}
+
+CrossingInfo ReadCrossing(BinReader* r) {
+  CrossingInfo ci;
+  uint32_t nops = ReadCount(r);
+  for (uint32_t i = 0; i < nops && r->ok(); ++i) {
+    ci.op_indices.push_back(ReadInt(r));
+  }
+  uint32_t neqs = ReadCount(r);
+  std::vector<AttrEquality> eqs;
+  for (uint32_t i = 0; i < neqs && r->ok(); ++i) {
+    AttrEquality eq;
+    eq.left_attr = ReadInt(r);
+    eq.right_attr = ReadInt(r);
+    eqs.push_back(eq);
+  }
+  ci.predicate = JoinPredicate(std::move(eqs));
+  ci.selectivity = r->ReadF64();
+  uint32_t naggs = ReadCount(r);
+  for (uint32_t i = 0; i < naggs && r->ok(); ++i) {
+    ci.groupjoin_aggs.push_back(ReadAggregateFunction(r));
+  }
+  return ci;
+}
+
+std::vector<SymbolicDefault> ReadDefaults(BinReader* r) {
+  std::vector<SymbolicDefault> v;
+  uint32_t n = ReadCount(r);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    SymbolicDefault d;
+    d.column = ReadStr(r);
+    d.one = ReadBool(r);
+    v.push_back(std::move(d));
+  }
+  return v;
+}
+
+std::vector<ExecAggregate> ReadExecAggs(BinReader* r) {
+  std::vector<ExecAggregate> v;
+  uint32_t n = ReadCount(r);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    ExecAggregate a;
+    a.output = ReadStr(r);
+    a.kind = static_cast<AggKind>(ReadEnum(r, kMaxAggKind));
+    a.arg = ReadStr(r);
+    a.distinct = ReadBool(r);
+    uint32_t nm = ReadCount(r);
+    for (uint32_t j = 0; j < nm && r->ok(); ++j) {
+      a.multipliers.push_back(ReadStr(r));
+    }
+    v.push_back(std::move(a));
+  }
+  return v;
+}
+
+FinalMapInfo ReadFinalMap(BinReader* r) {
+  FinalMapInfo fm;
+  uint32_t ne = ReadCount(r);
+  for (uint32_t i = 0; i < ne && r->ok(); ++i) {
+    MapExpr e;
+    e.output = ReadStr(r);
+    e.kind = static_cast<MapExpr::Kind>(ReadEnum(r, kMaxMapKind));
+    e.arg = ReadStr(r);
+    e.arg2 = ReadStr(r);
+    uint32_t nc = ReadCount(r);
+    for (uint32_t j = 0; j < nc && r->ok(); ++j) {
+      e.counts.push_back(ReadStr(r));
+    }
+    e.const_value = r->ReadZigzag();
+    fm.exprs.push_back(std::move(e));
+  }
+  uint32_t ncols = ReadCount(r);
+  for (uint32_t i = 0; i < ncols && r->ok(); ++i) {
+    fm.output_columns.push_back(ReadStr(r));
+  }
+  return fm;
+}
+
+FdSet ReadFdSet(BinReader* r) {
+  FdSet fds;
+  uint32_t n = ReadCount(r);
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    AttrSet lhs = ReadSet(r);
+    AttrSet rhs = ReadSet(r);
+    fds.Add(lhs, rhs);
+  }
+  return fds;
+}
+
+PlanAggState ReadAggState(BinReader* r) {
+  PlanAggState st;
+  uint32_t ns = ReadCount(r);
+  for (uint32_t i = 0; i < ns && r->ok(); ++i) {
+    AggSlot s;
+    s.query_index = ReadInt(r);
+    s.partialized = ReadBool(r);
+    s.partial_column = ReadStr(r);
+    s.home_count = ReadInt(r);
+    st.slots.push_back(std::move(s));
+  }
+  uint32_t nc = ReadCount(r);
+  for (uint32_t i = 0; i < nc && r->ok(); ++i) {
+    st.counts.push_back(CountColumn{ReadStr(r)});
+  }
+  return st;
+}
+
+OptimizeStats ReadStats(BinReader* r) {
+  OptimizeStats s;
+  s.ccp_count = r->ReadVarint64();
+  s.plans_built = r->ReadVarint64();
+  s.table_plans = r->ReadVarint64();
+  s.table_classes = r->ReadVarint64();
+  s.optimize_ms = r->ReadF64();
+  s.algorithm = static_cast<Algorithm>(ReadEnum(r, kMaxAlgorithm));
+  s.cache_hit = ReadBool(r);
+  s.pruned_candidates = r->ReadVarint64();
+  s.pruned_existing = r->ReadVarint64();
+  s.dp_barrier_wait_ms = r->ReadF64();
+  s.dp_workers = ReadInt(r);
+  s.cache_tier = ReadEnum(r, kMaxCacheTier);
+  return s;
+}
+
+bool FailDecode(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool DecodePlan(std::string_view blob, OptimizeResult* out,
+                std::string* error) {
+  BinReader header(blob);
+  if (header.remaining() < 16) return FailDecode(error, "truncated header");
+  if (header.ReadFixed32() != kPlanBlobMagic) {
+    return FailDecode(error, "bad magic");
+  }
+  // Version before checksum: a future format is refused as such, never
+  // reported as corruption (and never parsed by guesswork).
+  if (header.ReadFixed32() != kPlanBlobVersion) {
+    return FailDecode(error, "unsupported format version");
+  }
+  uint32_t crc = header.ReadFixed32();
+  uint32_t payload_len = header.ReadFixed32();
+  if (payload_len != blob.size() - 16) {
+    return FailDecode(error, "payload length mismatch");
+  }
+  std::string_view payload = blob.substr(16);
+  if (Crc32(payload) != crc) return FailDecode(error, "checksum mismatch");
+
+  BinReader r(payload);
+  OptimizeResult result;
+  result.stats = ReadStats(&r);
+  bool has_plan = ReadBool(&r);
+  if (r.failed()) return FailDecode(error, "malformed stats block");
+
+  result.arena = std::make_shared<PlanArena>();
+  if (has_plan) {
+    Arena& arena = result.arena->arena();
+
+    std::vector<const KeySet*> keysets;
+    uint32_t n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      KeySet ks;
+      if (!ReadKeySet(&r, &ks)) break;
+      keysets.push_back(result.arena->InternKeys(ks));
+    }
+    std::vector<const CrossingInfo*> crossings;
+    n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      crossings.push_back(arena.New<CrossingInfo>(ReadCrossing(&r)));
+    }
+    std::vector<const std::vector<SymbolicDefault>*> defaults;
+    n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      defaults.push_back(
+          arena.New<std::vector<SymbolicDefault>>(ReadDefaults(&r)));
+    }
+    std::vector<const std::vector<ExecAggregate>*> execaggs;
+    n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      execaggs.push_back(
+          arena.New<std::vector<ExecAggregate>>(ReadExecAggs(&r)));
+    }
+    std::vector<const FinalMapInfo*> finalmaps;
+    n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      finalmaps.push_back(arena.New<FinalMapInfo>(ReadFinalMap(&r)));
+    }
+    std::vector<const FdSet*> fdsets;
+    n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      fdsets.push_back(arena.New<FdSet>(ReadFdSet(&r)));
+    }
+    std::vector<const PlanAggState*> aggstates;
+    n = ReadCount(&r);
+    for (uint32_t i = 0; i < n && r.ok(); ++i) {
+      aggstates.push_back(arena.New<PlanAggState>(ReadAggState(&r)));
+    }
+    if (r.failed()) return FailDecode(error, "malformed payload table");
+
+    uint32_t node_count = ReadCount(&r);
+    if (r.failed() || node_count == 0) {
+      return FailDecode(error, "malformed node table");
+    }
+    std::vector<PlanPtr> nodes;
+    nodes.reserve(node_count);
+    for (uint32_t i = 0; i < node_count && r.ok(); ++i) {
+      PlanNode* pn = result.arena->NewNode();
+      pn->op = static_cast<PlanOp>(ReadEnum(&r, kMaxPlanOp));
+      pn->rels = ReadSet(&r);
+      pn->relation = ReadInt(&r);
+      // Postorder invariant: children reference strictly earlier records.
+      uint32_t left_ref = r.ReadVarint32();
+      uint32_t right_ref = r.ReadVarint32();
+      if (left_ref > i || right_ref > i) {
+        r.Fail();
+        break;
+      }
+      pn->left = left_ref == 0 ? nullptr : nodes[left_ref - 1];
+      pn->right = right_ref == 0 ? nullptr : nodes[right_ref - 1];
+      pn->crossing = ReadRef(&r, crossings);
+      pn->left_defaults_ = ReadRef(&r, defaults);
+      pn->right_defaults_ = ReadRef(&r, defaults);
+      pn->group_by = ReadSet(&r);
+      pn->group_aggs_ = ReadRef(&r, execaggs);
+      pn->final_map_ = ReadRef(&r, finalmaps);
+      pn->cardinality = r.ReadF64();
+      pn->raw_cardinality = r.ReadF64();
+      pn->pregroup_cardinality = r.ReadF64();
+      pn->cost = r.ReadF64();
+      pn->keys_ = ReadRef(&r, keysets);
+      pn->duplicate_free = ReadBool(&r);
+      pn->fds_ = ReadRef(&r, fdsets);
+      pn->agg_state_ = ReadRef(&r, aggstates);
+      nodes.push_back(pn);
+    }
+    uint32_t root_ref = r.ReadVarint32();
+    if (r.failed() || root_ref == 0 || root_ref > nodes.size()) {
+      return FailDecode(error, "malformed node table");
+    }
+    result.plan = nodes[root_ref - 1];
+  }
+  if (!r.AtEnd()) return FailDecode(error, "trailing bytes");
+
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace eadp

@@ -149,7 +149,7 @@ OptimizeResult Optimize(const Query& query, const OptimizerOptions& options) {
 
 OptimizeResult OptimizeAdaptive(const Query& query,
                                 const OptimizerOptions& options) {
-  if (options.plan_cache != nullptr) {
+  if (options.plan_cache != nullptr || options.persistent_cache != nullptr) {
     return OptimizeThroughCache(query, options, &OptimizeAdaptive);
   }
   if (query.NumRelations() <= options.adaptive_exact_relations) {

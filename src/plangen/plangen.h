@@ -59,6 +59,7 @@
 
 namespace eadp {
 
+class PersistentPlanCache;
 class PlanCache;
 class ThreadPool;
 
@@ -130,6 +131,16 @@ struct OptimizerOptions {
   /// (null plan) are never cached.
   PlanCache* plan_cache = nullptr;
 
+  /// Disk-backed second cache tier (plangen/persistent_cache.h), probed
+  /// when `plan_cache` misses (or alone, if no memory tier is set): hits
+  /// decode the stored blob into a fresh arena, are promoted into
+  /// `plan_cache`, and report stats.cache_tier == 2. Fresh plans are
+  /// written behind. Like plan_cache and dp_pool this is execution
+  /// context, not plan identity — both tiers share the same cache key and
+  /// neither pointer is folded into it. Not owned; must outlive the
+  /// optimization calls.
+  PersistentPlanCache* persistent_cache = nullptr;
+
   // ---- Intra-query parallel DP (plangen/parallel_dp.h) ----
 
   /// DP workers for one exhaustive enumeration (and for kIdp's bounded
@@ -168,10 +179,14 @@ struct OptimizeStats {
   /// The strategy that actually produced the plan — what OptimizeAdaptive
   /// chose, including a fallback taken mid-flight (e.g. kIdp -> kGoo).
   Algorithm algorithm = Algorithm::kEaPrune;
-  /// True iff the result was served from OptimizerOptions::plan_cache; the
-  /// other counters then describe the run that originally built the plan,
-  /// while optimize_ms is the fingerprint+probe time of *this* call.
+  /// True iff the result was served from a cache tier (memory or disk);
+  /// the other counters then describe the run that originally built the
+  /// plan, while optimize_ms is the fingerprint+probe time of *this* call.
   bool cache_hit = false;
+  /// Which tier served the result: 0 = planned fresh, 1 = memory tier
+  /// (OptimizerOptions::plan_cache), 2 = disk tier (persistent_cache,
+  /// including the decode). Implies cache_hit for tiers 1 and 2.
+  int cache_tier = 0;
 
   // DP hot-path counters (exhaustive generators and kIdp subproblems;
   // zero for strategies without a DP table, e.g. kGoo).

@@ -15,7 +15,10 @@
 //     PlanCache must hit, and the served plan must be cost-identical to a
 //     fresh plan and (when executed) row-identical to the canonical
 //     evaluation — a near-duplicate mutant cross-serving another mutant's
-//     plan fails one of the two.
+//     plan fails one of the two;
+//   * the serde oracle: the adaptive plan must round-trip through the
+//     binary encoding (plangen/plan_serde.h) — decode, re-validate,
+//     explain-bit-identity, re-encode byte-identity.
 //
 // Deliberately ABSENT: cross-strategy cost comparisons. Mutated
 // selectivities and cardinalities violate the statistics-consistency
@@ -33,6 +36,8 @@
 #include "common/strings.h"
 #include "exec/plan_executor.h"
 #include "plangen/plan_cache.h"
+#include "plangen/plan_explain.h"
+#include "plangen/plan_serde.h"
 #include "plangen/plan_validator.h"
 #include "plangen/plangen.h"
 #include "queries/data_generator.h"
@@ -123,6 +128,34 @@ inline FuzzOracleReport CheckMutant(const Query& query,
     report.failures.push_back("adaptive: no plan for a valid query");
   }
   check_plan(fresh, "adaptive");
+
+  // Serde oracle (plangen/plan_serde.h): the surviving mutant's plan must
+  // round-trip — decode cleanly, re-validate, stay explain-bit-identical
+  // (cost/cardinality doubles travel by bit pattern) and re-encode to the
+  // same bytes. Mutants reach plan shapes the curated corpus never
+  // produces, which is exactly where an encoding hole would hide.
+  if (fresh.plan != nullptr) {
+    std::string blob = EncodePlan(fresh);
+    OptimizeResult revived;
+    std::string serde_error;
+    if (!DecodePlan(blob, &revived, &serde_error)) {
+      report.failures.push_back("serde: decode failed: " + serde_error);
+    } else if (revived.plan == nullptr) {
+      report.failures.push_back("serde: decode dropped the plan");
+    } else {
+      for (const std::string& v : ValidatePlan(revived.plan, query)) {
+        report.failures.push_back("serde: revived plan validator: " + v);
+      }
+      if (ExplainToJson(revived, query.catalog()) !=
+          ExplainToJson(fresh, query.catalog())) {
+        report.failures.push_back(
+            "serde: revived explain differs from original");
+      }
+      if (EncodePlan(revived) != blob) {
+        report.failures.push_back("serde: re-encode not byte-identical");
+      }
+    }
+  }
 
   if (oracle.cache != nullptr && fresh.plan != nullptr) {
     OptimizerOptions cached = adaptive;
