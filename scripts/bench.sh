@@ -2,7 +2,8 @@
 # Perf-trajectory tracking: runs the perf-relevant benches
 # (bench_fig16_runtime, bench_complexity, bench_table2_tpch,
 # bench_large_queries, bench_parallel, bench_parallel_dp,
-# bench_plan_cache, bench_persistent_cache) with JSON recording enabled
+# bench_plan_cache, bench_persistent_cache, bench_drift) with JSON
+# recording enabled
 # and folds the results into BENCH_results.json at the
 # repo root. Folding merges by (suite, case, host): re-running replaces a
 # row's previous measurement from the same host instead of dropping the
@@ -38,7 +39,7 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target bench_fig16_runtime bench_complexity bench_table2_tpch \
            bench_large_queries bench_parallel bench_parallel_dp \
-           bench_plan_cache bench_persistent_cache >/dev/null
+           bench_plan_cache bench_persistent_cache bench_drift >/dev/null
 
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
@@ -68,6 +69,9 @@ EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_plan_cache"
 echo
 echo "== bench_persistent_cache (cold-start recovery via the disk tier) =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_persistent_cache"
+echo
+echo "== bench_drift (re-plans avoided under a drifting Zipf stream) =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_drift"
 
 # Fold the JSONL records into BENCH_results.json ({"baseline": run,
 # "current": run}). Each record is stamped with the measuring host and

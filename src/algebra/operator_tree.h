@@ -42,6 +42,13 @@ bool IsCommutative(OpKind kind);
 /// input (semijoin, antijoin, groupjoin).
 bool LeftOnlyOutput(OpKind kind);
 
+/// One additional conjunct on a kJoin node, flattened into its own
+/// operator (see OpTreeNode::extra_predicates).
+struct ExtraPredicate {
+  JoinPredicate predicate;
+  double selectivity = 1.0;
+};
+
 /// A node of the input operator tree. Leaves carry a base relation index,
 /// internal nodes a binary operator with its predicate.
 struct OpTreeNode {
@@ -55,6 +62,16 @@ struct OpTreeNode {
   /// join partners of each left tuple; result columns are appended to the
   /// left tuple.
   AggregateVector groupjoin_aggs;
+  /// internal, kJoin only: further conjuncts of this node's predicate,
+  /// each flattened into a *separate* inner-join operator (its own
+  /// hyperedge). σ_{p∧q}(e1 × e2) ≡ σ_q(σ_p(e1 × e2)), so splitting a
+  /// conjunction over freely reorderable inner joins preserves semantics
+  /// while exposing each equality to the enumerator as an individual
+  /// graph edge — a clique query enumerates densely instead of
+  /// collapsing to the left-deep prefix chain its n-1 conjoined
+  /// operators would force (queries/query_generator.h,
+  /// per_edge_predicates).
+  std::vector<ExtraPredicate> extra_predicates;
 
   std::unique_ptr<OpTreeNode> left;
   std::unique_ptr<OpTreeNode> right;

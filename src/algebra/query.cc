@@ -39,6 +39,21 @@ void Query::Flatten(const OpTreeNode* node) {
   op.left_rels = node->left->Relations();
   op.right_rels = node->right->Relations();
   ops_.push_back(std::move(op));
+  // Extra conjuncts become separate inner-join operators over the same
+  // subtrees (operator_tree.h): each is its own hyperedge for the
+  // enumerator, and the selectivity product equals the conjoined
+  // predicate's.
+  RelSet left_rels = node->left->Relations();
+  RelSet right_rels = node->right->Relations();
+  for (const ExtraPredicate& extra : node->extra_predicates) {
+    QueryOp split;
+    split.kind = OpKind::kJoin;
+    split.predicate = extra.predicate;
+    split.selectivity = extra.selectivity;
+    split.left_rels = left_rels;
+    split.right_rels = right_rels;
+    ops_.push_back(std::move(split));
+  }
 }
 
 void Query::Canonicalize() {

@@ -1,10 +1,53 @@
 #include "catalog/catalog.h"
 
+#include <atomic>
 #include <cassert>
+#include <utility>
 
 #include "common/strings.h"
 
 namespace eadp {
+
+uint64_t Catalog::NextCatalogId() {
+  // Id 0 is never handed out: it marks "no catalog" in overlay identity
+  // hints (queries/fingerprint.h StatsOverlay).
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Catalog::Catalog() : catalog_id_(NextCatalogId()) {}
+
+Catalog::Catalog(const Catalog& other)
+    : relations_(other.relations_),
+      attributes_(other.attributes_),
+      catalog_id_(NextCatalogId()),
+      stats_epoch_(other.stats_epoch_) {}
+
+Catalog::Catalog(Catalog&& other) noexcept
+    : relations_(std::move(other.relations_)),
+      attributes_(std::move(other.attributes_)),
+      catalog_id_(other.catalog_id_),
+      stats_epoch_(other.stats_epoch_) {}
+
+Catalog& Catalog::operator=(const Catalog& other) {
+  if (this != &other) {
+    relations_ = other.relations_;
+    attributes_ = other.attributes_;
+    catalog_id_ = NextCatalogId();
+    stats_epoch_ = other.stats_epoch_;
+  }
+  return *this;
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) {
+    relations_ = std::move(other.relations_);
+    attributes_ = std::move(other.attributes_);
+    catalog_id_ = other.catalog_id_;
+    stats_epoch_ = other.stats_epoch_;
+  }
+  return *this;
+}
 
 int Catalog::AddRelation(const std::string& name, double cardinality) {
   assert(relations_.size() < static_cast<size_t>(kBitsetCapacity) &&
@@ -41,12 +84,14 @@ void Catalog::SetCardinality(int r, double cardinality) {
   assert(r >= 0 && r < num_relations());
   assert(cardinality >= 1);
   relations_[r].cardinality = cardinality;
+  ++stats_epoch_;
 }
 
 void Catalog::SetDistinct(int a, double distinct) {
   assert(a >= 0 && a < num_attributes());
   assert(distinct >= 1);
   attributes_[a].distinct = distinct;
+  ++stats_epoch_;
 }
 
 RelSet Catalog::RelationsOf(AttrSet attrs) const {

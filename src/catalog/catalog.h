@@ -9,6 +9,7 @@
 #ifndef EADP_CATALOG_CATALOG_H_
 #define EADP_CATALOG_CATALOG_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,8 +38,25 @@ struct RelationDef {
 };
 
 /// The schema for one query. Cheap to copy; typically built once per query.
+///
+/// Drift identity: every Catalog instance carries a process-unique
+/// `catalog_id` and a monotonically increasing `stats_epoch`. The epoch is
+/// bumped by the statistics mutators (SetCardinality/SetDistinct) only —
+/// schema growth (AddRelation/AddAttribute/DeclareKey) happens before a
+/// catalog is planned against and does not count as drift. Together,
+/// (catalog_id, stats_epoch) lets a cache answer "are these the statistics
+/// I planned under?" without comparing statistic bytes: equal pairs imply
+/// unchanged stats. Copies take a FRESH id (two copies can be mutated
+/// independently; sharing an id would let their epochs alias), moves keep
+/// the id (the object is the same logical catalog relocated).
 class Catalog {
  public:
+  Catalog();
+  Catalog(const Catalog& other);
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(const Catalog& other);
+  Catalog& operator=(Catalog&& other) noexcept;
+
   /// Adds a relation with the given name and cardinality; returns its index.
   int AddRelation(const std::string& name, double cardinality);
 
@@ -52,9 +70,18 @@ class Catalog {
   /// Statistics mutators (used by the workload fuzzer to perturb base
   /// statistics in place). Values must be finite and >= 1; consistency
   /// between a key attribute's distinct count and its relation's
-  /// cardinality is the caller's responsibility.
+  /// cardinality is the caller's responsibility. Each call bumps
+  /// stats_epoch(), even when the new value equals the old one — the epoch
+  /// is a cheap conservative signal, and false positives just cost a byte
+  /// comparison downstream (queries/fingerprint.h SameStats).
   void SetCardinality(int r, double cardinality);
   void SetDistinct(int a, double distinct);
+
+  /// Process-unique identity of this catalog instance (fresh on copy,
+  /// preserved on move).
+  uint64_t catalog_id() const { return catalog_id_; }
+  /// Bumped by every statistics mutation. Starts at 0.
+  uint64_t stats_epoch() const { return stats_epoch_; }
 
   int num_relations() const { return static_cast<int>(relations_.size()); }
   int num_attributes() const { return static_cast<int>(attributes_.size()); }
@@ -78,8 +105,12 @@ class Catalog {
   std::string AttrSetToString(AttrSet attrs) const;
 
  private:
+  static uint64_t NextCatalogId();
+
   std::vector<RelationDef> relations_;
   std::vector<AttributeDef> attributes_;
+  uint64_t catalog_id_ = 0;
+  uint64_t stats_epoch_ = 0;
 };
 
 }  // namespace eadp

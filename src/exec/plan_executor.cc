@@ -157,7 +157,17 @@ Table ExecuteTree(const OpTreeNode& node, const Query& query,
   Table left = ExecuteTree(*node.left, query, db, op_counter);
   Table right = ExecuteTree(*node.right, query, db, op_counter);
   int op_index = (*op_counter)++;
-  ExecPredicate pred = BindPredicate(node.predicate, catalog, left, right);
+  // Each extra conjunct occupies its own flattened-operator slot (see
+  // Query::Flatten); execution conjoins them into this node's predicate —
+  // for inner joins the two are equivalent.
+  JoinPredicate conjoined = node.predicate;
+  for (const ExtraPredicate& extra : node.extra_predicates) {
+    for (const AttrEquality& eq : extra.predicate.equalities()) {
+      conjoined.AddEquality(eq.left_attr, eq.right_attr);
+    }
+    ++*op_counter;
+  }
+  ExecPredicate pred = BindPredicate(conjoined, catalog, left, right);
   switch (node.kind) {
     case OpKind::kJoin:
       return InnerJoin(left, right, pred);

@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -20,9 +21,12 @@ namespace eadp {
 namespace {
 
 constexpr uint32_t kSegmentMagic = 0x47455345u;  // "ESEG"
-constexpr uint32_t kSegmentVersion = 1;
+// Version 2 (PR 9): records carry the statistics overlay between key and
+// blob. Version-1 segments are skipped wholesale by the version check.
+constexpr uint32_t kSegmentVersion = 2;
 constexpr uint64_t kSegmentHeaderBytes = 8;
-constexpr uint64_t kRecordHeaderBytes = 12;  // crc + key_len + blob_len
+// crc + key_len + overlay_len + blob_len
+constexpr uint64_t kRecordHeaderBytes = 16;
 
 std::string SegmentName(uint64_t id) {
   char buf[32];
@@ -80,15 +84,18 @@ bool WriteExact(int fd, uint64_t offset, const void* src, size_t n) {
   return true;
 }
 
-/// CRC over everything after the crc word: both length fields and both
-/// byte ranges, so a record is accepted or rejected as a unit.
-uint32_t RecordCrc(uint32_t key_len, uint32_t blob_len,
-                   std::string_view key, std::string_view blob) {
-  char lens[8];
+/// CRC over everything after the crc word: all three length fields and
+/// all three byte ranges, so a record is accepted or rejected as a unit.
+uint32_t RecordCrc(uint32_t key_len, uint32_t overlay_len, uint32_t blob_len,
+                   std::string_view key, std::string_view overlay,
+                   std::string_view blob) {
+  char lens[12];
   std::memcpy(lens, &key_len, 4);
-  std::memcpy(lens + 4, &blob_len, 4);
+  std::memcpy(lens + 4, &overlay_len, 4);
+  std::memcpy(lens + 8, &blob_len, 4);
   uint32_t crc = Crc32(lens, sizeof(lens));
   crc = Crc32(key.data(), key.size(), crc);
+  crc = Crc32(overlay.data(), overlay.size(), crc);
   crc = Crc32(blob.data(), blob.size(), crc);
   return crc;
 }
@@ -160,6 +167,13 @@ std::unique_ptr<PersistentPlanCache> PersistentPlanCache::Open(
       cache->active_segment_ = static_cast<int>(cache->segments_.size() - 1);
     }
   }
+  // Everything but the active segment is sealed history — serve it via
+  // mmap (pread stays the fallback when a map fails).
+  for (size_t i = 0; i < cache->segments_.size(); ++i) {
+    if (static_cast<int>(i) != cache->active_segment_) {
+      cache->MapSegmentLocked(cache->segments_[i]);
+    }
+  }
 
   if (options.write_behind) {
     cache->writer_ = std::thread(&PersistentPlanCache::WriterLoop,
@@ -223,22 +237,36 @@ void PersistentPlanCache::RecoverSegment(uint32_t seg_index, bool is_newest) {
       torn = true;
       break;
     }
-    uint32_t crc, key_len, blob_len;
+    uint32_t crc, key_len, overlay_len, blob_len;
     std::memcpy(&crc, rec_header, 4);
     std::memcpy(&key_len, rec_header + 4, 4);
-    std::memcpy(&blob_len, rec_header + 8, 4);
-    uint64_t body = static_cast<uint64_t>(key_len) + blob_len;
+    std::memcpy(&overlay_len, rec_header + 8, 4);
+    std::memcpy(&blob_len, rec_header + 12, 4);
+    uint64_t body =
+        static_cast<uint64_t>(key_len) + overlay_len + blob_len;
     if (seg.size - good_end - kRecordHeaderBytes < body) {
       torn = true;
       break;
     }
     std::string key(key_len, '\0');
+    std::string overlay_bytes(overlay_len, '\0');
     std::string blob(blob_len, '\0');
     if (!ReadExact(seg.fd, good_end + kRecordHeaderBytes, key.data(),
                    key_len) ||
         !ReadExact(seg.fd, good_end + kRecordHeaderBytes + key_len,
+                   overlay_bytes.data(), overlay_len) ||
+        !ReadExact(seg.fd,
+                   good_end + kRecordHeaderBytes + key_len + overlay_len,
                    blob.data(), blob_len) ||
-        RecordCrc(key_len, blob_len, key, blob) != crc) {
+        RecordCrc(key_len, overlay_len, blob_len, key, overlay_bytes,
+                  blob) != crc) {
+      torn = true;
+      break;
+    }
+    // A CRC-valid record with an unparseable overlay never leaves our
+    // writer; treat it like any other violation and stop the scan here.
+    StatsOverlay overlay;
+    if (!ParseOverlay(overlay_bytes, &overlay)) {
       torn = true;
       break;
     }
@@ -247,14 +275,27 @@ void PersistentPlanCache::RecoverSegment(uint32_t seg_index, bool is_newest) {
     RehashFingerprint(&fp);
     Location loc;
     loc.hash2 = fp.hash2;
+    loc.overlay_hash = OverlayHash(overlay);
     loc.segment = seg_index;
     loc.offset = good_end;
     loc.key_len = key_len;
+    loc.overlay_len = overlay_len;
     loc.blob_len = blob_len;
-    // Older record wins on duplicates, matching the memory tier's
-    // first-writer-wins (any two records for one key are cost-identical).
-    if (!ContainsLocked(fp.hash, fp.hash2)) {
-      index_[fp.hash].push_back(loc);
+    // Newest record wins on duplicate keys: the scan runs in append
+    // order, so a later record for an indexed key is a statistics-drift
+    // update and the index moves to it.
+    bool superseded = false;
+    auto& chain = index_[fp.hash];
+    for (Location& existing : chain) {
+      if (existing.hash2 == fp.hash2) {
+        existing = loc;
+        superseded = true;
+        ++stats_.superseded_records;
+        break;
+      }
+    }
+    if (!superseded) {
+      chain.push_back(loc);
       ++stats_.records;
     }
     good_end += kRecordHeaderBytes + body;
@@ -284,6 +325,7 @@ PersistentPlanCache::~PersistentPlanCache() {
     writer_.join();  // drains the queue before exiting
   }
   for (Segment& seg : segments_) {
+    if (seg.map != nullptr) ::munmap(seg.map, seg.map_len);
     if (seg.fd >= 0) {
       if (seg.writable) ::fdatasync(seg.fd);
       ::close(seg.fd);
@@ -291,31 +333,49 @@ PersistentPlanCache::~PersistentPlanCache() {
   }
 }
 
-bool PersistentPlanCache::ContainsLocked(uint64_t hash, uint64_t hash2) const {
+void PersistentPlanCache::MapSegmentLocked(Segment& seg) {
+  if (seg.map != nullptr || seg.fd < 0 || seg.size == 0) return;
+  void* map = ::mmap(nullptr, seg.size, PROT_READ, MAP_SHARED, seg.fd, 0);
+  if (map == MAP_FAILED) return;  // pread fallback keeps serving
+  seg.map = map;
+  seg.map_len = seg.size;
+  ++stats_.mmap_segments;
+}
+
+bool PersistentPlanCache::ContainsLocked(uint64_t hash, uint64_t hash2,
+                                         uint64_t overlay_hash) const {
   // hash + hash2 (128 bits) stand in for the full key here: a collision
   // merely suppresses a redundant Put or shadows a duplicate record —
   // never serves a wrong plan, because Get always compares key bytes.
+  // The overlay hash narrows the duplicate to "same key, same
+  // statistics"; a Put under drifted statistics must go through (it is
+  // the update).
   auto it = index_.find(hash);
   if (it != index_.end()) {
     for (const Location& loc : it->second) {
-      if (loc.hash2 == hash2) return true;
+      if (loc.hash2 == hash2 && loc.overlay_hash == overlay_hash) {
+        return true;
+      }
     }
   }
   auto pend = pending_hashes_.find(hash);
   if (pend != pending_hashes_.end()) {
-    for (uint64_t h2 : pend->second) {
-      if (h2 == hash2) return true;
+    for (const auto& [h2, oh] : pend->second) {
+      if (h2 == hash2 && oh == overlay_hash) return true;
     }
   }
   return false;
 }
 
 bool PersistentPlanCache::Get(const QueryFingerprint& fp,
-                              OptimizeResult* out) {
+                              StatsOverlay* overlay, OptimizeResult* out) {
   struct Candidate {
     int fd;
+    const char* map;  ///< base of the segment mapping, null = pread
+    size_t map_len;
     uint64_t offset;
     uint32_t key_len;
+    uint32_t overlay_len;
     uint32_t blob_len;
   };
   std::vector<Candidate> candidates;
@@ -325,29 +385,44 @@ bool PersistentPlanCache::Get(const QueryFingerprint& fp,
     if (it != index_.end()) {
       for (const Location& loc : it->second) {
         if (loc.hash2 == fp.hash2 && loc.key_len == fp.canonical.size()) {
-          candidates.push_back({segments_[loc.segment].fd, loc.offset,
-                                loc.key_len, loc.blob_len});
+          const Segment& seg = segments_[loc.segment];
+          candidates.push_back({seg.fd, static_cast<const char*>(seg.map),
+                                seg.map_len, loc.offset, loc.key_len,
+                                loc.overlay_len, loc.blob_len});
         }
       }
     }
   }
-  // I/O and decode run without the lock: records are immutable and fds
-  // stay open for the cache's lifetime.
+  // I/O and decode run without the lock: records are immutable, fds stay
+  // open and maps stay mapped for the cache's lifetime.
+  auto read_at = [](const Candidate& c, uint64_t offset, char* dst,
+                    size_t n) {
+    if (c.map != nullptr && offset + n <= c.map_len) {
+      std::memcpy(dst, c.map + offset, n);
+      return true;
+    }
+    return ReadExact(c.fd, offset, dst, n);
+  };
   for (const Candidate& c : candidates) {
     std::string key(c.key_len, '\0');
-    if (!ReadExact(c.fd, c.offset + kRecordHeaderBytes, key.data(),
-                   c.key_len) ||
+    if (!read_at(c, c.offset + kRecordHeaderBytes, key.data(), c.key_len) ||
         key != fp.canonical) {
       continue;  // hash collision (or unreadable record): not our key
     }
+    std::string overlay_bytes(c.overlay_len, '\0');
     std::string blob(c.blob_len, '\0');
-    bool read_ok = ReadExact(
-        c.fd, c.offset + kRecordHeaderBytes + c.key_len, blob.data(),
-        c.blob_len);
+    bool read_ok =
+        read_at(c, c.offset + kRecordHeaderBytes + c.key_len,
+                overlay_bytes.data(), c.overlay_len) &&
+        read_at(c, c.offset + kRecordHeaderBytes + c.key_len + c.overlay_len,
+                blob.data(), c.blob_len);
+    StatsOverlay parsed;
     OptimizeResult decoded;
-    if (read_ok && DecodePlan(blob, &decoded)) {
+    if (read_ok && ParseOverlay(overlay_bytes, &parsed) &&
+        DecodePlan(blob, &decoded)) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.hits;
+      if (overlay != nullptr) *overlay = std::move(parsed);
       *out = std::move(decoded);
       return true;
     }
@@ -362,21 +437,24 @@ bool PersistentPlanCache::Get(const QueryFingerprint& fp,
 }
 
 void PersistentPlanCache::Put(const QueryFingerprint& fp,
+                              const StatsOverlay& overlay,
                               const OptimizeResult& result) {
   PendingWrite w;
   w.hash = fp.hash;
   w.hash2 = fp.hash2;
+  w.overlay_hash = OverlayHash(overlay);
   w.key = fp.canonical;
+  AppendOverlay(overlay, &w.overlay);
   w.blob = EncodePlan(result);
   bool inline_append = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (ContainsLocked(fp.hash, fp.hash2)) {
+    if (ContainsLocked(fp.hash, fp.hash2, w.overlay_hash)) {
       ++stats_.duplicate_puts;
       return;
     }
     ++stats_.puts;
-    pending_hashes_[w.hash].push_back(w.hash2);
+    pending_hashes_[w.hash].emplace_back(w.hash2, w.overlay_hash);
     if (options_.write_behind && !stop_) {
       queue_.push_back(std::move(w));
     } else {
@@ -398,6 +476,9 @@ int PersistentPlanCache::EnsureActiveSegmentLocked(size_t record_bytes) {
     if (seg.writable && seg.size < options_.max_segment_bytes) {
       return active_segment_;
     }
+    // Rolling over: the outgoing active segment is sealed from here on —
+    // switch its reads to mmap.
+    MapSegmentLocked(seg);
   }
   uint64_t id = segments_.empty() ? 0 : segments_.back().id + 1;
   std::string path = options_.directory + "/" + SegmentName(id);
@@ -425,13 +506,18 @@ int PersistentPlanCache::EnsureActiveSegmentLocked(size_t record_bytes) {
 
 void PersistentPlanCache::AppendRecord(const PendingWrite& w) {
   uint32_t key_len = static_cast<uint32_t>(w.key.size());
+  uint32_t overlay_len = static_cast<uint32_t>(w.overlay.size());
   uint32_t blob_len = static_cast<uint32_t>(w.blob.size());
   std::string record;
-  record.reserve(kRecordHeaderBytes + w.key.size() + w.blob.size());
-  PutFixed32(&record, RecordCrc(key_len, blob_len, w.key, w.blob));
+  record.reserve(kRecordHeaderBytes + w.key.size() + w.overlay.size() +
+                 w.blob.size());
+  PutFixed32(&record, RecordCrc(key_len, overlay_len, blob_len, w.key,
+                                w.overlay, w.blob));
   PutFixed32(&record, key_len);
+  PutFixed32(&record, overlay_len);
   PutFixed32(&record, blob_len);
   record += w.key;
+  record += w.overlay;
   record += w.blob;
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -439,7 +525,8 @@ void PersistentPlanCache::AppendRecord(const PendingWrite& w) {
     auto it = pending_hashes_.find(w.hash);
     if (it != pending_hashes_.end()) {
       auto& v = it->second;
-      v.erase(std::find(v.begin(), v.end(), w.hash2));
+      v.erase(std::find(v.begin(), v.end(),
+                        std::make_pair(w.hash2, w.overlay_hash)));
       if (v.empty()) pending_hashes_.erase(it);
     }
   };
@@ -465,16 +552,32 @@ void PersistentPlanCache::AppendRecord(const PendingWrite& w) {
   seg.size += record.size();
   stats_.bytes_on_disk += record.size();
   ++stats_.appended_records;
-  ++stats_.records;
   // Index only now, with the record fully on disk: a Get racing this
   // append misses (and replans) instead of reading a half-written record.
+  // Newest wins on an already-indexed key — this append is then the
+  // statistics-drift update for that key.
   Location loc;
   loc.hash2 = w.hash2;
+  loc.overlay_hash = w.overlay_hash;
   loc.segment = static_cast<uint32_t>(seg_index);
   loc.offset = offset;
   loc.key_len = key_len;
+  loc.overlay_len = overlay_len;
   loc.blob_len = blob_len;
-  index_[w.hash].push_back(loc);
+  bool superseded = false;
+  auto& chain = index_[w.hash];
+  for (Location& existing : chain) {
+    if (existing.hash2 == w.hash2) {
+      existing = loc;
+      superseded = true;
+      ++stats_.superseded_records;
+      break;
+    }
+  }
+  if (!superseded) {
+    chain.push_back(loc);
+    ++stats_.records;
+  }
   drop_pending();
 }
 
@@ -533,6 +636,10 @@ std::string CacheTierStatsToJson(const PlanCache* l1,
     field(&out, "evictions", s.evictions);
     field(&out, "entries", s.entries);
     field(&out, "resident_bytes", s.resident_bytes);
+    field(&out, "drift_hits", s.drift_hits);
+    field(&out, "replans_avoided", s.replans_avoided);
+    field(&out, "replans_background", s.replans_background);
+    field(&out, "refreshes", s.refreshes);
     out += '}';
   } else {
     out += "null";
@@ -549,8 +656,10 @@ std::string CacheTierStatsToJson(const PlanCache* l1,
     field(&out, "torn_records_dropped", s.torn_records_dropped);
     field(&out, "skipped_segments", s.skipped_segments);
     field(&out, "io_errors", s.io_errors);
+    field(&out, "superseded_records", s.superseded_records);
     field(&out, "records", s.records);
     field(&out, "segments", s.segments);
+    field(&out, "mmap_segments", s.mmap_segments);
     field(&out, "bytes_on_disk", s.bytes_on_disk);
     out += '}';
   } else {

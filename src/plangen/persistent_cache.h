@@ -9,15 +9,29 @@
 //
 // On-disk layout: a directory of `segment-NNNNNN.log` files. Each segment
 // starts with a fixed header (magic + segment-format version); records
-// follow back to back:
+// follow back to back (format version 2):
 //
-//   [u32 crc][u32 key_len][u32 blob_len][key bytes][blob bytes]
+//   [u32 crc][u32 key_len][u32 overlay_len][u32 blob_len]
+//   [key bytes][overlay bytes][blob bytes]
 //
-// `key` is the canonical cache-key fingerprint (PlanCacheKey's canonical
-// bytes — the equality witness, stored in full so hash collisions can
-// never serve a wrong plan, same rule as the memory tier); `blob` is the
-// EncodePlan output. The crc covers the two length words and both byte
-// ranges, so a torn write anywhere in a record is detected as a unit.
+// `key` is the canonical cache-key fingerprint — since PR 9 the
+// STRUCTURAL fingerprint with options folded in (the equality witness,
+// stored in full so hash collisions can never serve a wrong plan, same
+// rule as the memory tier); `overlay` is the AppendOverlay encoding of
+// the statistics the plan was built under (empty-overlay encoding for
+// byte-keyed callers); `blob` is the EncodePlan output. The crc covers
+// the three length words and all three byte ranges, so a torn write
+// anywhere in a record is detected as a unit. Version-1 segments (no
+// overlay field) are skipped wholesale on open, like any other
+// version-skewed segment.
+//
+// One servable record per key, newest wins: a re-plan under drifted
+// statistics appends a new record for the same structural key and the
+// index moves to it (the superseded record remains on disk as history
+// and re-supersedes naturally on recovery, which scans in append order).
+// Duplicate suppression is per (key, overlay): re-Putting the same plan
+// under the same statistics is dropped, a Put under new statistics is an
+// update.
 //
 // Crash recovery: Open() scans every segment sequentially and indexes
 // records until the first length/CRC violation. A bad tail in the newest
@@ -34,6 +48,12 @@
 // append completion the entry is simply not found, which is safe
 // (callers replan; duplicate Puts are suppressed). Get() decodes into a
 // fresh arena per hit, so served plans share nothing mutable.
+//
+// Read path: sealed segments (every segment except the active one — they
+// are immutable by construction) are mmap'd read-only and served by
+// memcpy; the active segment, and any segment whose mmap failed, falls
+// back to pread. Maps live until the cache is destroyed, so concurrent
+// Gets never race an unmap.
 //
 // Coherence with the memory tier: both tiers key on the same canonical
 // fingerprint; OptimizeThroughCache probes memory first, then disk
@@ -53,6 +73,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "plangen/plangen.h"
@@ -89,8 +110,12 @@ struct PersistentCacheStats {
   uint64_t torn_records_dropped = 0;
   uint64_t skipped_segments = 0;
   uint64_t io_errors = 0;
+  /// Index moves to a newer record for an already-indexed key (a re-plan
+  /// under drifted statistics landed).
+  uint64_t superseded_records = 0;
   size_t records = 0;        ///< indexed, servable records
   size_t segments = 0;       ///< segment files attached (incl. skipped)
+  size_t mmap_segments = 0;  ///< sealed segments served via mmap
   size_t bytes_on_disk = 0;  ///< sum of attached segment file sizes
 
   double HitRate() const {
@@ -116,14 +141,26 @@ class PersistentPlanCache {
 
   /// Probes for `fp` (full canonical-byte comparison against the stored
   /// key, hashes only route). On a hit, decodes the blob into a fresh
-  /// arena in `*out` and returns true; false on miss or decode failure.
-  bool Get(const QueryFingerprint& fp, OptimizeResult* out);
+  /// arena in `*out`, parses the stored statistics overlay into
+  /// `*overlay` (when non-null) and returns true; false on miss or
+  /// decode failure. The newest record for the key is served.
+  bool Get(const QueryFingerprint& fp, StatsOverlay* overlay,
+           OptimizeResult* out);
+  bool Get(const QueryFingerprint& fp, OptimizeResult* out) {
+    return Get(fp, nullptr, out);
+  }
 
-  /// Persists `result` under `fp` (write-behind by default; see options).
-  /// Suppressed if an equal key is already stored or queued. Null plans
-  /// are accepted — an unsatisfiable verdict is as expensive to recompute
-  /// as a plan.
-  void Put(const QueryFingerprint& fp, const OptimizeResult& result);
+  /// Persists `result` under `fp` with the statistics `overlay` it was
+  /// built under (write-behind by default; see options). Suppressed if a
+  /// record with an equal key *and* equal overlay is already stored or
+  /// queued; an equal key under different statistics appends an updating
+  /// record (newest wins). Null plans are accepted — an unsatisfiable
+  /// verdict is as expensive to recompute as a plan.
+  void Put(const QueryFingerprint& fp, const StatsOverlay& overlay,
+           const OptimizeResult& result);
+  void Put(const QueryFingerprint& fp, const OptimizeResult& result) {
+    Put(fp, StatsOverlay{}, result);
+  }
 
   /// Blocks until every Put accepted so far is on disk (index updated),
   /// then fdatasyncs the active segment. The durability barrier for
@@ -137,9 +174,11 @@ class PersistentPlanCache {
  private:
   struct Location {
     uint64_t hash2 = 0;
+    uint64_t overlay_hash = 0;  ///< duplicate suppression per (key, stats)
     uint32_t segment = 0;  ///< index into segments_
     uint64_t offset = 0;   ///< of the record header (crc word)
     uint32_t key_len = 0;
+    uint32_t overlay_len = 0;
     uint32_t blob_len = 0;
   };
   struct Segment {
@@ -147,11 +186,16 @@ class PersistentPlanCache {
     int fd = -1;
     uint64_t size = 0;  ///< valid bytes (post tail-truncation)
     bool writable = false;
+    /// Read-only mapping of a sealed segment; null = serve via pread.
+    void* map = nullptr;
+    size_t map_len = 0;
   };
   struct PendingWrite {
     uint64_t hash = 0;
     uint64_t hash2 = 0;
+    uint64_t overlay_hash = 0;
     std::string key;
+    std::string overlay;  ///< AppendOverlay encoding
     std::string blob;
   };
 
@@ -162,8 +206,14 @@ class PersistentPlanCache {
   /// tail when `is_newest`.
   void RecoverSegment(uint32_t seg_index, bool is_newest);
 
-  /// True iff `hash`/`hash2` is indexed or queued. Caller holds mu_.
-  bool ContainsLocked(uint64_t hash, uint64_t hash2) const;
+  /// True iff `hash`/`hash2` with the same overlay is indexed or queued
+  /// (the duplicate a Put would be). Caller holds mu_.
+  bool ContainsLocked(uint64_t hash, uint64_t hash2,
+                      uint64_t overlay_hash) const;
+
+  /// Maps a sealed segment read-only (idempotent; failure leaves the
+  /// pread fallback in place). Caller holds mu_.
+  void MapSegmentLocked(Segment& seg);
 
   /// Appends one record to the active segment (rolling over if needed)
   /// and indexes it. Runs on the writer thread, or inline when
@@ -185,9 +235,10 @@ class PersistentPlanCache {
   /// Cache-key hash -> records with that hash (hash2 pre-filters, the
   /// stored key bytes decide).
   std::unordered_map<uint64_t, std::vector<Location>> index_;
-  /// Hashes of queued-but-unwritten records (duplicate suppression over
-  /// the write-behind gap).
-  std::unordered_map<uint64_t, std::vector<uint64_t>> pending_hashes_;
+  /// (hash2, overlay_hash) of queued-but-unwritten records (duplicate
+  /// suppression over the write-behind gap).
+  std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>>
+      pending_hashes_;
   PersistentCacheStats stats_;
 
   // Write-behind machinery.

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <optional>
 #include <utility>
 
+#include "common/thread_pool.h"
+#include "cost/recost.h"
 #include "plangen/persistent_cache.h"
+#include "queries/mutation.h"
 
 namespace eadp {
 
@@ -26,10 +30,13 @@ void FoldOptionsIntoFingerprint(const OptimizerOptions& options,
   // fails this assert. If the new field steers planning, fold it below
   // (a missed knob would silently cross-serve plans between
   // configurations); either way, update the expected size deliberately.
-  // (72 = the 64 bytes of PR 5 plus the persistent_cache pointer, which
-  // is excluded from the key like plan_cache and dp_pool — both tiers
-  // must agree on one key for promotion to be coherent.)
-  static_assert(sizeof(OptimizerOptions) == 72,
+  // (88 = the 72 bytes of PR 8 plus drift_tolerance and replan_pool.
+  // Both are excluded from the key: they steer *serving* of an already
+  // planned entry, never the plan that gets built, so folding them would
+  // needlessly split entries between tolerance configurations.
+  // persistent_cache/plan_cache/dp_pool stay excluded as before — both
+  // tiers must agree on one key for promotion to be coherent.)
+  static_assert(sizeof(OptimizerOptions) == 88,
                 "OptimizerOptions changed: fold any new planning-relevant "
                 "knob into the cache key below, then update this size");
   CanonicalWriter w(&fp->canonical);
@@ -103,7 +110,8 @@ PlanCache::Handle PlanCache::Lookup(const QueryFingerprint& fp) {
 }
 
 PlanCache::Handle PlanCache::Insert(QueryFingerprint fp,
-                                    OptimizeResult result) {
+                                    OptimizeResult result,
+                                    StatsOverlay overlay) {
   Shard& shard = ShardFor(fp);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto chain_it = shard.index.find(fp.hash);
@@ -119,8 +127,8 @@ PlanCache::Handle PlanCache::Insert(QueryFingerprint fp,
       }
     }
   }
-  Handle handle =
-      std::make_shared<Entry>(Entry{std::move(fp), std::move(result)});
+  Handle handle = std::make_shared<Entry>(std::move(fp), std::move(overlay),
+                                          std::move(result));
   shard.lru.push_front(handle);
   shard.index[handle->fingerprint.hash].push_back(shard.lru.begin());
   shard.resident_bytes += EntryBytes(*handle);
@@ -130,6 +138,46 @@ PlanCache::Handle PlanCache::Insert(QueryFingerprint fp,
     ++shard.evictions;
   }
   return handle;
+}
+
+PlanCache::Handle PlanCache::Refresh(const QueryFingerprint& fp,
+                                     StatsOverlay overlay,
+                                     OptimizeResult result) {
+  refreshes_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto chain_it = shard.index.find(fp.hash);
+  if (chain_it != shard.index.end()) {
+    for (auto pos : chain_it->second) {
+      if ((*pos)->fingerprint.hash2 == fp.hash2 &&
+          (*pos)->fingerprint.Matches(fp)) {
+        // Swap in place: the stale entry is unlinked (outstanding handles
+        // keep it and its arena alive) and the fresh one takes the MRU
+        // slot. Last-writer-wins — the whole point is replacing stale
+        // statistics, so the newest result must land.
+        Unlink(shard, pos);
+        break;
+      }
+    }
+  }
+  Handle handle = std::make_shared<Entry>(fp, std::move(overlay),
+                                          std::move(result));
+  shard.lru.push_front(handle);
+  shard.index[handle->fingerprint.hash].push_back(shard.lru.begin());
+  shard.resident_bytes += EntryBytes(*handle);
+  while (shard.lru.size() > shard_capacity_) {
+    Unlink(shard, std::prev(shard.lru.end()));
+    ++shard.evictions;
+  }
+  return handle;
+}
+
+void PlanCache::RecordDriftOutcome(bool avoided, bool background) {
+  drift_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (avoided) replans_avoided_.fetch_add(1, std::memory_order_relaxed);
+  if (background) {
+    replans_background_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void PlanCache::Invalidate() {
@@ -155,6 +203,11 @@ PlanCacheStats PlanCache::Snapshot() const {
     stats.entries += shard.lru.size();
     stats.resident_bytes += shard.resident_bytes;
   }
+  stats.drift_hits = drift_hits_.load(std::memory_order_relaxed);
+  stats.replans_avoided = replans_avoided_.load(std::memory_order_relaxed);
+  stats.replans_background =
+      replans_background_.load(std::memory_order_relaxed);
+  stats.refreshes = refreshes_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -175,6 +228,75 @@ QueryFingerprint PlanCacheKey(const Query& query,
   return fp;
 }
 
+PlanCacheSplitKey PlanCacheKeySplit(const Query& query,
+                                    const OptimizerOptions& options) {
+  PlanCacheSplitKey key;
+  SplitFingerprint split = FingerprintQuerySplitUnhashed(query);
+  key.structural = std::move(split.structural);
+  key.overlay = std::move(split.overlay);
+  FoldOptionsIntoFingerprint(options, &key.structural);
+  RehashFingerprint(&key.structural);
+  return key;
+}
+
+namespace {
+
+/// Claims the entry's replan flag and enqueues a full re-plan of `query`
+/// on options.replan_pool; the completed result swaps into both tiers via
+/// Refresh/Put. Returns true when the stale entry may keep serving (a
+/// re-plan is now — or already was — in flight); false when background
+/// re-planning is unavailable and the caller must re-plan inline.
+///
+/// The task snapshots the query by value (QuerySpec::FromQuery) and
+/// copies `plan_fresh`: the caller's stack frame is long gone when the
+/// task runs. Lifetime contract (plangen.h): the pool must be destroyed
+/// before the caches, never the reverse — the pool's destructor drains
+/// queued tasks, each of which touches both caches.
+bool StartBackgroundReplan(
+    const Query& query, const OptimizerOptions& options,
+    const QueryFingerprint& fp, const StatsOverlay& overlay,
+    const PlanCache::Handle& entry,
+    const std::function<OptimizeResult(const Query&,
+                                       const OptimizerOptions&)>&
+        plan_fresh) {
+  if (options.replan_pool == nullptr || options.plan_cache == nullptr ||
+      entry == nullptr) {
+    return false;
+  }
+  // Synthetic queries (no operator tree) cannot be snapshotted for
+  // deferred re-planning; fall back to inline.
+  if (query.root() == nullptr) return false;
+  bool expected = false;
+  if (!entry->replan_pending.compare_exchange_strong(expected, true)) {
+    // A re-plan for this entry is already in flight: keep serving stale,
+    // enqueue nothing.
+    return true;
+  }
+  auto snapshot = std::make_shared<QuerySpec>(QuerySpec::FromQuery(query));
+  OptimizerOptions uncached = options;
+  uncached.plan_cache = nullptr;
+  uncached.persistent_cache = nullptr;
+  uncached.replan_pool = nullptr;
+  PlanCache* l1 = options.plan_cache;
+  PersistentPlanCache* l2 = options.persistent_cache;
+  options.replan_pool->Submit(
+      [snapshot, uncached, l1, l2, fp, overlay, entry, plan_fresh] {
+        Query q = snapshot->ToQuery();
+        OptimizeResult fresh = plan_fresh(q, uncached);
+        if (fresh.plan != nullptr) {
+          if (l2 != nullptr) l2->Put(fp, overlay, fresh);
+          l1->Refresh(fp, overlay, std::move(fresh));
+        }
+        // Clear the flag on the (now unlinked) stale entry last: should
+        // the Refresh have raced an eviction, a later drifted hit on a
+        // re-inserted entry starts from a fresh flag anyway.
+        entry->replan_pending.store(false);
+      });
+  return true;
+}
+
+}  // namespace
+
 OptimizeResult OptimizeThroughCache(
     const Query& query, const OptimizerOptions& options,
     const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&
@@ -185,46 +307,122 @@ OptimizeResult OptimizeThroughCache(
                std::chrono::steady_clock::now() - start)
         .count();
   };
-  QueryFingerprint fp = PlanCacheKey(query, options);
+  PlanCacheSplitKey key = PlanCacheKeySplit(query, options);
+  const QueryFingerprint& fp = key.structural;
+  // Set on the first drifted structural hit: the fresh plan must then
+  // *replace* the stale entry (Refresh), not lose to it (Insert's
+  // first-writer-wins).
+  bool drifted = false;
+
+  // A structural hit whose overlay mismatches the probe: re-cost the
+  // cached plan under the current catalog, serve within the tolerance
+  // band, otherwise try to hand the re-plan to the background pool while
+  // the stale plan keeps serving. nullopt = caller must re-plan inline.
+  auto serve_drifted =
+      [&](const OptimizeResult& cached, const StatsOverlay& stored, int tier,
+          const PlanCache::Handle& entry) -> std::optional<OptimizeResult> {
+    drifted = true;
+    double recosted = 0;
+    bool within = false;
+    if (cached.plan != nullptr) {
+      RecostResult rc = RecostPlan(cached.plan, query);
+      if (rc.ok) {
+        recosted = rc.cost;
+        // cached cost × scale lower-bounds the fresh optimum under the
+        // probe's statistics (cost/recost.h); a re-plan can beat the
+        // re-costed cached plan by at most the gap to that bound.
+        double scale = DriftCostScale(stored, key.overlay);
+        within = options.drift_tolerance > 0 && scale > 0 &&
+                 rc.cost <=
+                     (1.0 + options.drift_tolerance) * scale *
+                         cached.plan->cost;
+      }
+    }
+    bool background =
+        !within &&
+        StartBackgroundReplan(query, options, fp, key.overlay, entry,
+                              plan_fresh);
+    if (options.plan_cache != nullptr) {
+      options.plan_cache->RecordDriftOutcome(within, background);
+    }
+    if (!within && !background) return std::nullopt;
+    OptimizeResult result = cached;
+    result.stats.cache_hit = true;
+    result.stats.cache_tier = tier;
+    result.stats.replan_avoided = within;
+    result.stats.replan_background = background;
+    result.stats.recosted_cost = recosted;
+    result.stats.optimize_ms = elapsed_ms();
+    return result;
+  };
+
   if (options.plan_cache != nullptr) {
     if (PlanCache::Handle hit = options.plan_cache->Lookup(fp)) {
-      // Copying the cached OptimizeResult copies its arena shared_ptr, so
-      // the served plan stays alive past eviction without the handle.
-      OptimizeResult result = hit->result;
-      result.stats.cache_hit = true;
-      result.stats.cache_tier = 1;
-      result.stats.optimize_ms = elapsed_ms();
-      return result;
+      if (SameStats(hit->overlay, key.overlay)) {
+        // Exact hit — statistics unchanged since the entry was built.
+        // Copying the cached OptimizeResult copies its arena shared_ptr,
+        // so the served plan stays alive past eviction without the handle.
+        OptimizeResult result = hit->result;
+        result.stats.cache_hit = true;
+        result.stats.cache_tier = 1;
+        result.stats.optimize_ms = elapsed_ms();
+        return result;
+      }
+      if (std::optional<OptimizeResult> served =
+              serve_drifted(hit->result, hit->overlay, 1, hit)) {
+        return *served;
+      }
     }
   }
   if (options.persistent_cache != nullptr) {
+    StatsOverlay stored;
     OptimizeResult revived;
-    if (options.persistent_cache->Get(fp, &revived)) {
-      // Promote into the memory tier so the shape's next arrival is a
-      // probe, not a disk read + decode. The promoted copy is what we
-      // serve now (its arena is shared), matching the L1-hit path.
-      revived.stats.cache_hit = true;
-      revived.stats.cache_tier = 2;
-      revived.stats.optimize_ms = elapsed_ms();
-      if (options.plan_cache != nullptr && revived.plan != nullptr) {
-        options.plan_cache->Insert(fp, revived);
+    if (options.persistent_cache->Get(fp, &stored, &revived)) {
+      if (SameStats(stored, key.overlay)) {
+        // Promote into the memory tier so the shape's next arrival is a
+        // probe, not a disk read + decode. The promoted copy is what we
+        // serve now (its arena is shared), matching the L1-hit path.
+        revived.stats.cache_hit = true;
+        revived.stats.cache_tier = 2;
+        revived.stats.optimize_ms = elapsed_ms();
+        if (options.plan_cache != nullptr && revived.plan != nullptr) {
+          options.plan_cache->Insert(fp, revived, stored);
+        }
+        return revived;
       }
-      return revived;
+      // Drifted disk hit: promote the stale plan first (background
+      // re-planning needs an L1 entry to dedup on; Insert returns the
+      // existing entry if a drifted L1 resident beat us here).
+      PlanCache::Handle promoted;
+      if (options.plan_cache != nullptr && revived.plan != nullptr) {
+        promoted = options.plan_cache->Insert(fp, revived, stored);
+      }
+      if (std::optional<OptimizeResult> served =
+              serve_drifted(revived, stored, 2, promoted)) {
+        return *served;
+      }
     }
   }
   OptimizerOptions uncached = options;
   uncached.plan_cache = nullptr;
   uncached.persistent_cache = nullptr;
+  uncached.replan_pool = nullptr;
   OptimizeResult result = plan_fresh(query, uncached);
   // Unsatisfiable queries stay uncached: a null plan carries no arena to
   // keep alive and costs nothing to rediscover.
   if (result.plan != nullptr) {
     // Write-behind to disk first: Put copies what it needs, Insert moves.
     if (options.persistent_cache != nullptr) {
-      options.persistent_cache->Put(fp, result);
+      options.persistent_cache->Put(fp, key.overlay, result);
     }
     if (options.plan_cache != nullptr) {
-      options.plan_cache->Insert(std::move(fp), result);
+      if (drifted) {
+        // Inline re-plan of a drifted entry: the fresh result replaces
+        // the stale one.
+        options.plan_cache->Refresh(fp, std::move(key.overlay), result);
+      } else {
+        options.plan_cache->Insert(fp, result, std::move(key.overlay));
+      }
     }
   }
   return result;

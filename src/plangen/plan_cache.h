@@ -29,15 +29,22 @@
 // results for one fingerprint are cost-identical by determinism, so which
 // one wins is unobservable through costs).
 //
-// Invalidation: statistics changes rewrite the fingerprint, so stale
-// entries become unreachable rather than wrong. They still hold capacity
-// and arenas, which is what Invalidate() is for — serving layers call it
-// on catalog change (DDL, statistics refresh) to drop every entry at
-// once. See docs/DESIGN.md §10.
+// Statistics drift (DESIGN.md §14): since PR 9 the facade keys entries on
+// the STRUCTURAL fingerprint (stats-insensitive) and stores each entry's
+// statistics overlay alongside it. A probe whose overlay matches the
+// entry's is the classic exact hit. A probe with drifted statistics
+// re-costs the cached plan under the current catalog (cost/recost.h) and
+// serves it when it stays within OptimizerOptions::drift_tolerance of the
+// sensitivity lower bound; out-of-band hits re-plan — inline, or in the
+// background on OptimizerOptions::replan_pool with the entry swapped in
+// place via Refresh() while the stale plan keeps serving. Invalidate()
+// remains the DDL hammer: schema changes (not mere statistics drift) still
+// drop everything at once.
 
 #ifndef EADP_PLANGEN_PLAN_CACHE_H_
 #define EADP_PLANGEN_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -80,6 +87,18 @@ struct PlanCacheStats {
   uint64_t invalidations = 0;
   size_t entries = 0;
   size_t resident_bytes = 0;
+  // Drift accounting (facade-reported via RecordDriftOutcome / Refresh).
+  /// Structural hits whose statistics overlay no longer matched the probe.
+  uint64_t drift_hits = 0;
+  /// Drifted hits served after re-costing inside the tolerance band — full
+  /// re-plans that never happened.
+  uint64_t replans_avoided = 0;
+  /// Drifted hits served stale while a background re-plan refreshes the
+  /// entry.
+  uint64_t replans_background = 0;
+  /// Entries swapped in place by Refresh() (background or inline re-plan
+  /// completions).
+  uint64_t refreshes = 0;
 
   double HitRate() const {
     uint64_t probes = hits + misses;
@@ -91,10 +110,24 @@ class PlanCache {
  public:
   /// One immutable cached optimization. `result.arena` owns every node
   /// `result.plan` points into; the entry's fingerprint is kept so chain
-  /// scans can compare canonical bytes without re-fingerprinting.
+  /// scans can compare canonical bytes without re-fingerprinting. Under
+  /// structural keying `fingerprint` is the structural key and `overlay`
+  /// records the statistics the plan was built under — the facade compares
+  /// it against the probe's overlay to detect drift. `replan_pending` is
+  /// the background-replan dedup flag: the facade CASes it before
+  /// enqueuing so one drifted entry triggers at most one in-flight
+  /// re-plan. It is the only mutable field; the plan itself never changes
+  /// (Refresh swaps in a whole new entry instead).
   struct Entry {
+    Entry(QueryFingerprint fp, StatsOverlay ov, OptimizeResult r)
+        : fingerprint(std::move(fp)),
+          overlay(std::move(ov)),
+          result(std::move(r)) {}
+
     QueryFingerprint fingerprint;
+    StatsOverlay overlay;
     OptimizeResult result;
+    mutable std::atomic<bool> replan_pending{false};
   };
   /// Refcounted view of an entry: valid (plan, arena and all) for as long
   /// as the handle lives, regardless of eviction or invalidation.
@@ -115,7 +148,26 @@ class PlanCache {
   /// capacity. If an entry with an equal fingerprint already exists the
   /// existing entry is returned unchanged (first-writer-wins) — callers
   /// racing to plan the same shape all end up sharing one entry.
-  Handle Insert(QueryFingerprint fp, OptimizeResult result);
+  /// `overlay` records the statistics the plan was built under (empty for
+  /// byte-keyed callers, where the fingerprint itself pins the stats).
+  Handle Insert(QueryFingerprint fp, OptimizeResult result,
+                StatsOverlay overlay = {});
+
+  /// Replaces the entry matching `fp` with a fresh (overlay, result) —
+  /// last-writer-wins, the inverse of Insert's first-writer-wins. This is
+  /// how completed re-plans land: the stale entry (possibly still serving
+  /// through outstanding handles) is unlinked and the new one takes its
+  /// LRU slot. Inserts normally when no entry matches (it may have been
+  /// evicted or invalidated while the re-plan ran). Counts a refresh
+  /// either way.
+  Handle Refresh(const QueryFingerprint& fp, StatsOverlay overlay,
+                 OptimizeResult result);
+
+  /// Facade-side drift accounting: a structural hit whose overlay
+  /// mismatched the probe. `avoided` — served within tolerance without
+  /// re-planning; `background` — served stale with a re-plan enqueued.
+  /// Both false — the drifted hit fell through to an inline re-plan.
+  void RecordDriftOutcome(bool avoided, bool background);
 
   /// Drops every entry (counted as invalidations). The serving layer's
   /// hook for catalog changes: statistics updates already unreach stale
@@ -167,6 +219,13 @@ class PlanCache {
 
   std::vector<Shard> shards_;
   size_t shard_capacity_ = 0;
+
+  // Drift counters live cache-wide (not per shard): they are facade
+  // outcomes, bumped outside any shard lock.
+  std::atomic<uint64_t> drift_hits_{0};
+  std::atomic<uint64_t> replans_avoided_{0};
+  std::atomic<uint64_t> replans_background_{0};
+  std::atomic<uint64_t> refreshes_{0};
 };
 
 /// The exact fingerprint OptimizeThroughCache keys its probes with: the
@@ -176,6 +235,19 @@ class PlanCache {
 /// about the cache with the production key rather than re-deriving it.
 QueryFingerprint PlanCacheKey(const Query& query,
                               const OptimizerOptions& options);
+
+/// The two-layer cache key: `structural` is the stats-insensitive
+/// fingerprint with the planning-relevant options knobs folded in (what
+/// the drift-aware facade keys entries on), `overlay` carries the current
+/// statistics separately. ComposeFingerprint(key) reproduces the byte
+/// content of PlanCacheKey up to layer ordering — the two are distinct
+/// key spaces and must not be mixed within one cache.
+struct PlanCacheSplitKey {
+  QueryFingerprint structural;
+  StatsOverlay overlay;
+};
+PlanCacheSplitKey PlanCacheKeySplit(const Query& query,
+                                    const OptimizerOptions& options);
 
 /// The probe/populate wrapper shared by every cache-aware facade entry
 /// point (OptimizeAdaptive, OptimizeAdaptiveConcurrent): fingerprints the
@@ -192,6 +264,19 @@ QueryFingerprint PlanCacheKey(const Query& query,
 /// memory tier. Hits of either tier set stats.cache_hit with optimize_ms
 /// = probe (+decode) time. Precondition: at least one of
 /// options.plan_cache / options.persistent_cache is non-null.
+///
+/// Drift handling (DESIGN.md §14): entries are keyed on the structural
+/// fingerprint with the statistics overlay stored per entry. A hit whose
+/// overlay matches the probe bit-for-bit behaves exactly as above. A
+/// drifted hit re-costs the cached plan under the current catalog
+/// (RecostPlan) and serves it when recost <= (1 + drift_tolerance) *
+/// DriftCostScale * cached cost (stats.replan_avoided, recosted_cost).
+/// Out-of-band hits re-plan: on options.replan_pool (requires plan_cache)
+/// the stale plan is served immediately (stats.replan_background) and the
+/// fresh result later swaps in via PlanCache::Refresh; without a pool the
+/// re-plan runs inline and the fresh plan is served (cache_tier = 0).
+/// With drift_tolerance = 0 (default) every drifted hit re-plans, which
+/// reproduces the PR 8 stats-keyed behavior observationally.
 OptimizeResult OptimizeThroughCache(
     const Query& query, const OptimizerOptions& options,
     const std::function<OptimizeResult(const Query&, const OptimizerOptions&)>&

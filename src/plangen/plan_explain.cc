@@ -115,7 +115,12 @@ std::string OptimizeStatsToJson(const OptimizeStats& stats) {
   out += StrFormat(",\"dp_barrier_wait_ms\":%.3f", stats.dp_barrier_wait_ms);
   out += StrFormat(",\"optimize_ms\":%.3f", stats.optimize_ms);
   out += stats.cache_hit ? ",\"cache_hit\":true" : ",\"cache_hit\":false";
-  out += StrFormat(",\"cache_tier\":%d}", stats.cache_tier);
+  out += StrFormat(",\"cache_tier\":%d", stats.cache_tier);
+  out += stats.replan_avoided ? ",\"replan_avoided\":true"
+                              : ",\"replan_avoided\":false";
+  out += stats.replan_background ? ",\"replan_background\":true"
+                                 : ",\"replan_background\":false";
+  out += StrFormat(",\"recosted_cost\":%.17g}", stats.recosted_cost);
   return out;
 }
 

@@ -158,6 +158,27 @@ struct OptimizerOptions {
   /// shared with the batch/race entry points. When null and dp_threads >
   /// 1, Optimize spins up a transient pool for the run.
   ThreadPool* dp_pool = nullptr;
+
+  // ---- Incremental re-optimization under statistics drift ----
+
+  /// Drift tolerance band for serving cached plans whose statistics
+  /// overlay no longer matches the probing query's: a drifted hit is
+  /// re-costed (cost/recost.h) and served iff
+  ///   recost(plan) <= (1 + drift_tolerance) * DriftCostScale * old_cost,
+  /// i.e. iff the cached plan is provably within the tolerance of any plan
+  /// a full re-run could find. 0 (the default) disables stale serving
+  /// entirely — every drifted hit re-plans, preserving the pre-drift
+  /// "stats change == different plan run" behavior exactly. Like the cache
+  /// pointers this is serving policy, not plan identity: it is NOT folded
+  /// into the cache key.
+  double drift_tolerance = 0;
+  /// When set together with plan_cache, out-of-tolerance drifted hits
+  /// re-plan on this pool in the BACKGROUND: the stale plan is served
+  /// immediately (stats.replan_background) and the refreshed entry is
+  /// swapped in place when the re-plan finishes. When null, out-of-band
+  /// drifted hits re-plan inline (the caller waits, stats.cache_tier 0).
+  /// Borrowed, not owned; destroy the pool BEFORE the caches it refreshes.
+  ThreadPool* replan_pool = nullptr;
 };
 
 /// Builder options as the generators actually instantiate them: the
@@ -187,6 +208,19 @@ struct OptimizeStats {
   /// (OptimizerOptions::plan_cache), 2 = disk tier (persistent_cache,
   /// including the decode). Implies cache_hit for tiers 1 and 2.
   int cache_tier = 0;
+  /// The hit's statistics had drifted, the re-costed cached plan fell
+  /// inside the drift_tolerance band, and a full re-plan was skipped.
+  /// recosted_cost then carries the plan's cost under the current
+  /// statistics (plan->cost keeps the plan-time annotation).
+  bool replan_avoided = false;
+  /// The hit's statistics had drifted out of tolerance; the stale plan was
+  /// served anyway while a background re-plan (OptimizerOptions::
+  /// replan_pool) refreshes the entry in place.
+  bool replan_background = false;
+  /// Root plan cost under the probing query's statistics when the serve
+  /// decision re-costed the plan (replan_avoided or replan_background);
+  /// 0 otherwise.
+  double recosted_cost = 0;
 
   // DP hot-path counters (exhaustive generators and kIdp subproblems;
   // zero for strategies without a DP table, e.g. kGoo).

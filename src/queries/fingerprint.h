@@ -38,6 +38,18 @@
 // together. Two queries match only if their catalogs enumerate relations
 // and attributes in the same order — the canonical order a parser or
 // generator produces deterministically.
+//
+// Two-layer form (drift-aware caching, DESIGN.md §14): the fingerprint
+// factors into a STRUCTURAL layer (everything above except the statistic
+// values — shapes, predicates, keys, attribute wiring, agg labels) and a
+// STATS OVERLAY (the relation cardinalities, attribute distinct counts and
+// operator selectivities, in the same canonical order). The combined
+// fingerprint is the pure composition `structural bytes + overlay bytes`,
+// so combined equality still holds exactly when both structure and
+// statistics are bit-equal — the PR 5/PR 8 cache semantics are a special
+// case. Drift-aware caches key on the structural layer and keep the
+// overlay per entry, so a statistics change moves the overlay but not the
+// key, and a cached plan can be re-costed instead of becoming unreachable.
 
 #ifndef EADP_QUERIES_FINGERPRINT_H_
 #define EADP_QUERIES_FINGERPRINT_H_
@@ -45,6 +57,8 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "algebra/query.h"
 
@@ -110,10 +124,72 @@ struct QueryFingerprint {
   }
 };
 
+/// The statistics layer of a query fingerprint: every estimator input the
+/// structural layer deliberately omits, in canonical (catalog / flattening)
+/// order. Two overlays of one structural class describe the same plan
+/// space under different statistics.
+struct StatsOverlay {
+  std::vector<double> rel_cardinality;  ///< per relation, catalog order
+  std::vector<double> attr_distinct;    ///< per attribute, catalog order
+  std::vector<double> op_selectivity;   ///< per flattened op, query order
+  /// Identity hints (never serialized, never part of equality *semantics*):
+  /// the catalog instance + epoch the overlay was captured from. When both
+  /// match, SameStats skips the catalog-stat byte comparison — the epoch
+  /// contract (catalog/catalog.h) guarantees the values cannot have moved.
+  uint64_t catalog_id = 0;
+  uint64_t stats_epoch = 0;
+};
+
+/// A fingerprint factored into its two layers. `structural.canonical` is
+/// the stats-insensitive witness (serialization version 2); the overlay
+/// carries the statistics that version 1 interleaved.
+struct SplitFingerprint {
+  QueryFingerprint structural;
+  StatsOverlay overlay;
+};
+
+/// Computes the two-layer fingerprint: hashed structural layer + captured
+/// overlay (including the catalog id/epoch hints).
+SplitFingerprint FingerprintQuerySplit(const Query& query);
+
+/// As FingerprintQuerySplit but with structural hashes left at 0, for
+/// callers composing a longer key (options block, overlay) before hashing
+/// once.
+SplitFingerprint FingerprintQuerySplitUnhashed(const Query& query);
+
+/// Appends the canonical overlay serialization (marker byte 0xfd, then the
+/// three counted F64 vectors) to `*out`. This is BOTH the combined-key
+/// suffix and the on-disk overlay encoding — one encoder, so the two can
+/// never desynchronize.
+void AppendOverlay(const StatsOverlay& overlay, std::string* out);
+
+/// Parses bytes produced by AppendOverlay. Returns false (leaving *out
+/// untouched) on any malformed input. Identity hints come back as 0 —
+/// serialized overlays have no live catalog to point at.
+bool ParseOverlay(std::string_view bytes, StatsOverlay* out);
+
+/// Bit-exact statistic equality: every cardinality/distinct/selectivity
+/// identical by bit pattern (and equal vector shapes). Uses the
+/// catalog-id/epoch fast path for the catalog-derived vectors when both
+/// hints are present; selectivities are query-side and always compared.
+bool SameStats(const StatsOverlay& a, const StatsOverlay& b);
+
+/// 64-bit hash of the canonical overlay bytes (duplicate suppression in
+/// the persistent tier; never a correctness witness).
+uint64_t OverlayHash(const StatsOverlay& overlay);
+
+/// Pure composition: combined = structural bytes + overlay bytes, hashed.
+/// Combined equality == structural equality AND bit-equal statistics —
+/// exactly the pre-split fingerprint contract.
+QueryFingerprint ComposeFingerprint(const QueryFingerprint& structural,
+                                    const StatsOverlay& overlay);
+
 /// Computes the canonical fingerprint of `query`. Deterministic in the
 /// query's structure; invariant under renaming relations and attributes.
 /// Cost is linear in the query size (a few microseconds at 100 relations —
 /// see bench_plan_cache), so probing a cache with it is always worthwhile.
+/// Defined as ComposeFingerprint(FingerprintQuerySplit(query)): statistics
+/// changes still move this fingerprint.
 QueryFingerprint FingerprintQuery(const Query& query);
 
 /// As FingerprintQuery but leaves hash/hash2 at 0: for callers that

@@ -163,25 +163,7 @@ bool PerturbSelectivity(QuerySpec* spec, Rng* rng) {
 }
 
 bool PerturbCardinality(QuerySpec* spec, Rng* rng) {
-  int r = static_cast<int>(
-      rng->UniformInt(0, spec->catalog.num_relations() - 1));
-  const RelationDef& rel = spec->catalog.relation(r);
-  double factor = LogUniform(rng, 0.2, 5.0);
-  double card = std::max(2.0, std::floor(rel.cardinality * factor));
-  if (card == rel.cardinality) return false;
-  // Keep the statistics internally consistent: no attribute exceeds the
-  // new cardinality in distinct values, and key attributes keep their
-  // distinct count equal to it (a key has one row per value).
-  AttrSet key_attrs;
-  for (const AttrSet& key : rel.keys) key_attrs.UnionWith(key);
-  spec->catalog.SetCardinality(r, card);
-  for (int a : BitsOf(rel.attributes)) {
-    double distinct = key_attrs.Contains(a)
-                          ? card
-                          : std::min(spec->catalog.DistinctOf(a), card);
-    spec->catalog.SetDistinct(a, distinct);
-  }
-  return true;
+  return ApplyStatsDrift(&spec->catalog, rng);
 }
 
 bool AddGroupBy(QuerySpec* spec, Rng* rng) {
@@ -429,6 +411,39 @@ void CheckOperators(const Catalog& catalog, const OpTreeNode& node,
     violations->push_back(
         StrFormat("selectivity %g outside (0, 1]", node.selectivity));
   }
+  // Extra conjuncts (operator_tree.h) are split into separate inner-join
+  // operators, which is only an equivalence for inner joins.
+  if (!node.extra_predicates.empty() && node.kind != OpKind::kJoin) {
+    violations->push_back(StrFormat("%s carries extra predicates",
+                                    OpKindName(node.kind)));
+  }
+  for (const ExtraPredicate& extra : node.extra_predicates) {
+    if (extra.predicate.empty()) {
+      violations->push_back("empty extra predicate");
+    }
+    for (const AttrEquality& eq : extra.predicate.equalities()) {
+      bool in_range = eq.left_attr >= 0 &&
+                      eq.left_attr < catalog.num_attributes() &&
+                      eq.right_attr >= 0 &&
+                      eq.right_attr < catalog.num_attributes();
+      bool pairs_subtrees =
+          in_range &&
+          ((left.Contains(eq.left_attr) && right.Contains(eq.right_attr)) ||
+           (left.Contains(eq.right_attr) && right.Contains(eq.left_attr)));
+      if (!pairs_subtrees) {
+        violations->push_back(StrFormat(
+            "extra-predicate equality %d = %d does not pair a left-visible "
+            "with a right-visible attribute",
+            eq.left_attr, eq.right_attr));
+      }
+    }
+    if (!std::isfinite(extra.selectivity) || extra.selectivity <= 0 ||
+        extra.selectivity > 1) {
+      violations->push_back(StrFormat("extra-predicate selectivity %g "
+                                      "outside (0, 1]",
+                                      extra.selectivity));
+    }
+  }
   if (node.kind == OpKind::kGroupJoin) {
     if (node.groupjoin_aggs.empty()) {
       violations->push_back("groupjoin without aggregates");
@@ -458,6 +473,7 @@ std::unique_ptr<OpTreeNode> CloneTree(const OpTreeNode& node) {
   copy->predicate = node.predicate;
   copy->selectivity = node.selectivity;
   copy->groupjoin_aggs = node.groupjoin_aggs;
+  copy->extra_predicates = node.extra_predicates;
   if (node.left != nullptr) copy->left = CloneTree(*node.left);
   if (node.right != nullptr) copy->right = CloneTree(*node.right);
   return copy;
@@ -632,6 +648,28 @@ std::vector<std::string> CheckSpecValid(const QuerySpec& spec) {
     }
   }
   return violations;
+}
+
+bool ApplyStatsDrift(Catalog* catalog, Rng* rng) {
+  int r =
+      static_cast<int>(rng->UniformInt(0, catalog->num_relations() - 1));
+  const RelationDef& rel = catalog->relation(r);
+  double factor = LogUniform(rng, 0.2, 5.0);
+  double card = std::max(2.0, std::floor(rel.cardinality * factor));
+  if (card == rel.cardinality) return false;
+  // Keep the statistics internally consistent: no attribute exceeds the
+  // new cardinality in distinct values, and key attributes keep their
+  // distinct count equal to it (a key has one row per value).
+  AttrSet key_attrs;
+  for (const AttrSet& key : rel.keys) key_attrs.UnionWith(key);
+  catalog->SetCardinality(r, card);
+  for (int a : BitsOf(rel.attributes)) {
+    double distinct = key_attrs.Contains(a)
+                          ? card
+                          : std::min(catalog->DistinctOf(a), card);
+    catalog->SetDistinct(a, distinct);
+  }
+  return true;
 }
 
 bool ApplyMutation(MutationOp op, QuerySpec* spec, Rng* rng) {

@@ -119,6 +119,20 @@ std::vector<std::string> CheckSpecValid(const QuerySpec& spec);
 /// (spec, op, rng state).
 bool ApplyMutation(MutationOp op, QuerySpec* spec, Rng* rng);
 
+/// Statistics-drift operator for the post-planning oracles: perturbs one
+/// relation's cardinality (log-uniform factor in [0.2, 5]) and repairs its
+/// attributes' distinct counts to stay internally consistent (keys keep
+/// distinct == cardinality, non-keys are capped at it). Unlike the
+/// MutationOp operators this edits a *Catalog* in place, typically after
+/// planning: the query structure is untouched, so the structural
+/// fingerprint layer is unchanged while the stats overlay moves
+/// (queries/fingerprint.h) — exactly what drives the plan cache's
+/// drifted-hit re-cost/tolerance path. kPerturbCardinality is this same
+/// transformation applied pre-planning through the validity pipeline.
+/// Deterministic in (catalog, rng state); false when the drawn factor
+/// rounds the cardinality back onto its old value (catalog untouched).
+bool ApplyStatsDrift(Catalog* catalog, Rng* rng);
+
 /// One replayable step of a mutation chain: ApplyMutation(op, spec,
 /// Rng(seed)) — the sub-seed makes each step independent of how many
 /// rejected attempts preceded it.

@@ -224,11 +224,27 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
                       attrs[static_cast<size_t>(rb)]);
     *sel *= edge_selectivity(ra, rb);
   };
+  // Per-edge mode: the edge becomes its own inner-join operator instead
+  // of a further conjunct (same RNG draw — one jitter per edge either
+  // way, so seeded catalogs and selectivities stay identical).
+  auto add_extra_edge = [&](std::vector<ExtraPredicate>* extras, int ra,
+                            int rb) {
+    ExtraPredicate extra;
+    extra.predicate.AddEquality(attrs[static_cast<size_t>(ra)],
+                                attrs[static_cast<size_t>(rb)]);
+    extra.selectivity = edge_selectivity(ra, rb);
+    extras->push_back(std::move(extra));
+  };
+  assert((!options.per_edge_predicates ||
+          options.topology != QueryTopology::kClique || n <= 16) &&
+         "per-edge clique: n(n-1)/2 operators must fit the 128-operator "
+         "universe");
 
   std::unique_ptr<OpTreeNode> root = OpTreeNode::Leaf(0);
   for (int i = 1; i < n; ++i) {
     JoinPredicate pred;
     double sel = 1.0;
+    std::vector<ExtraPredicate> extras;
     switch (options.topology) {
       case QueryTopology::kChain:
         add_edge(&pred, &sel, i - 1, i);
@@ -240,10 +256,22 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
         add_edge(&pred, &sel, i - 1, i);
         // The last operator also carries the cycle-closing equality (a
         // 2-cycle would duplicate the chain edge — stays a chain).
-        if (i == n - 1 && n > 2) add_edge(&pred, &sel, 0, i);
+        if (i == n - 1 && n > 2) {
+          if (options.per_edge_predicates) {
+            add_extra_edge(&extras, 0, i);
+          } else {
+            add_edge(&pred, &sel, 0, i);
+          }
+        }
         break;
       case QueryTopology::kClique:
-        for (int j = 0; j < i; ++j) add_edge(&pred, &sel, j, i);
+        for (int j = 0; j < i; ++j) {
+          if (options.per_edge_predicates && j > 0) {
+            add_extra_edge(&extras, j, i);
+          } else {
+            add_edge(&pred, &sel, j, i);
+          }
+        }
         break;
       case QueryTopology::kSnowflake:
         // 3-ary fact/dimension hierarchy rooted at R0: each relation
@@ -254,8 +282,10 @@ Query GenerateStructuredQuery(const GeneratorOptions& options, uint64_t seed) {
         assert(false && "structured path called with kRandomTree");
         break;
     }
-    root = OpTreeNode::Binary(OpKind::kJoin, std::move(root),
-                              OpTreeNode::Leaf(i), std::move(pred), sel);
+    auto node = OpTreeNode::Binary(OpKind::kJoin, std::move(root),
+                                   OpTreeNode::Leaf(i), std::move(pred), sel);
+    node->extra_predicates = std::move(extras);
+    root = std::move(node);
   }
 
   return FinishQuery(options, rng, std::move(catalog), std::move(root),

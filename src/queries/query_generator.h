@@ -93,6 +93,20 @@ struct GeneratorOptions {
   /// pinned by tests and benches); n·(1 + extra) must stay within the
   /// 128-attribute universe.
   int extra_attrs_per_relation = 0;
+
+  /// Structured topologies only: emit one *operator* per predicate edge
+  /// instead of conjoining a relation's edges into its tree operator.
+  /// Affects kClique (operator i historically conjoins all i equalities
+  /// linking R_i to the prefix, which welds the hypergraph into a
+  /// left-deep prefix chain — the enumerator never sees the dense graph)
+  /// and kCycle's closing edge. With this on, every equality becomes its
+  /// own inner-join operator (OpTreeNode::extra_predicates), so a clique
+  /// query carries n(n-1)/2 single-equality hyperedges and enumerates
+  /// densely. RNG draw order, catalog and selectivity product are
+  /// unchanged — only the operator structure differs. A per-edge clique
+  /// requires n <= 16 (n(n-1)/2 operators must fit the 128-operator
+  /// bitset universe).
+  bool per_edge_predicates = false;
 };
 
 /// Preset: a random-tree workload whose operator mix is dominated by outer

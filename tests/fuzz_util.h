@@ -189,6 +189,62 @@ inline FuzzOracleReport CheckMutant(const Query& query,
       }
     }
   }
+  // Stats-drift oracle (DESIGN.md §14): perturb the catalog *after*
+  // planning — same structural fingerprint, moved stats overlay — and
+  // probe the warm cache again. An unbounded drift tolerance must serve
+  // the stale plan via re-cost (replan_avoided), and since result rows
+  // are invariant under statistics the served plan must still reproduce
+  // the canonical rows; a zero tolerance must re-plan inline, and the
+  // re-plan must be cost-identical to a fresh uncached optimization under
+  // the drifted statistics (the re-cost/tolerance path never leaks a
+  // stale cost into a strict probe).
+  if (oracle.cache != nullptr && fresh.plan != nullptr &&
+      query.root() != nullptr) {
+    QuerySpec drifted_spec = QuerySpec::FromQuery(query);
+    Rng drift_rng(oracle.data_seed * 0x9e3779b97f4a7c15ull + 0x5eed);
+    if (ApplyStatsDrift(&drifted_spec.catalog, &drift_rng)) {
+      Query drifted = drifted_spec.ToQuery();
+      OptimizerOptions tolerant = adaptive;
+      tolerant.plan_cache = oracle.cache;
+      tolerant.drift_tolerance = 1e18;
+      OptimizeResult served = OptimizeAdaptive(drifted, tolerant);
+      if (served.plan == nullptr) {
+        report.failures.push_back("drift: tolerant probe served no plan");
+      } else {
+        if (!served.stats.cache_hit || !served.stats.replan_avoided) {
+          report.failures.push_back(
+              "drift: tolerant probe did not re-cost-and-serve "
+              "(expected a drifted hit with replan_avoided)");
+        }
+        if (run_exec) {
+          std::string message;
+          if (!PlanMatchesCanonical(served.plan, drifted, db, &message)) {
+            report.failures.push_back(
+                "drift: re-cost-served plan rows diverge from canonical:\n" +
+                message);
+          }
+        }
+      }
+      OptimizerOptions strict = adaptive;
+      strict.plan_cache = oracle.cache;
+      OptimizeResult replanned = OptimizeAdaptive(drifted, strict);
+      OptimizeResult reference = OptimizeAdaptive(drifted, adaptive);
+      if (replanned.plan == nullptr || reference.plan == nullptr) {
+        report.failures.push_back("drift: no plan under drifted stats");
+      } else {
+        if (replanned.stats.replan_avoided) {
+          report.failures.push_back(
+              "drift: zero-tolerance probe avoided the re-plan");
+        }
+        if (replanned.plan->cost != reference.plan->cost) {
+          report.failures.push_back(StrFormat(
+              "drift: re-planned cost %.17g != fresh cost %.17g under "
+              "drifted stats (stale plan leaked through?)",
+              replanned.plan->cost, reference.plan->cost));
+        }
+      }
+    }
+  }
   return report;
 }
 

@@ -252,6 +252,79 @@ TEST(TopologyGenerator, CardinalityProductsStayFinite) {
   }
 }
 
+TEST(TopologyGenerator, PerEdgeCliqueEmitsOneOperatorPerEdge) {
+  for (int n : {3, 5, 10, 16}) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      GeneratorOptions gen;
+      gen.topology = QueryTopology::kClique;
+      gen.num_relations = n;
+      gen.per_edge_predicates = true;
+      Query q = GenerateRandomQuery(gen, seed);
+      // Dense hypergraph: every pairwise equality is its own inner-join
+      // operator (n(n-1)/2 of them), not conjoined into the n-1 tree ops.
+      EXPECT_EQ(q.ops().size(), static_cast<size_t>(n * (n - 1) / 2));
+      for (const QueryOp& op : q.ops()) {
+        EXPECT_EQ(op.kind, OpKind::kJoin);
+        EXPECT_EQ(op.predicate.equalities().size(), 1u);
+      }
+      std::set<std::pair<int, int>> want;
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) want.emplace(i, j);
+      }
+      EXPECT_EQ(EqualityPairs(q), want) << "n=" << n << " seed=" << seed;
+      ConflictDetector conflicts(q);
+      EXPECT_TRUE(conflicts.hypergraph().IsConnected(q.AllRelations()));
+    }
+  }
+}
+
+TEST(TopologyGenerator, PerEdgeCycleSplitsTheClosingEdge) {
+  GeneratorOptions gen;
+  gen.topology = QueryTopology::kCycle;
+  gen.num_relations = 8;
+  gen.per_edge_predicates = true;
+  Query q = GenerateRandomQuery(gen, 3);
+  // n chain+closing edges, each its own single-equality operator.
+  EXPECT_EQ(q.ops().size(), 8u);
+  for (const QueryOp& op : q.ops()) {
+    EXPECT_EQ(op.predicate.equalities().size(), 1u);
+  }
+  std::set<std::pair<int, int>> want;
+  for (int i = 1; i < 8; ++i) want.emplace(i - 1, i);
+  want.emplace(0, 7);
+  EXPECT_EQ(EqualityPairs(q), want);
+}
+
+TEST(TopologyGenerator, PerEdgeModePreservesTheRngDrawSequence) {
+  // Per-edge mode restructures operators but must not shift any random
+  // draw: catalogs and the edge-selectivity multiset stay identical.
+  for (QueryTopology t : {QueryTopology::kClique, QueryTopology::kCycle}) {
+    GeneratorOptions conjoined;
+    conjoined.topology = t;
+    conjoined.num_relations = 12;
+    GeneratorOptions split = conjoined;
+    split.per_edge_predicates = true;
+    Query a = GenerateRandomQuery(conjoined, 17);
+    Query b = GenerateRandomQuery(split, 17);
+    ASSERT_EQ(a.catalog().num_relations(), b.catalog().num_relations());
+    for (int r = 0; r < a.catalog().num_relations(); ++r) {
+      EXPECT_EQ(a.catalog().relation(r).cardinality,
+                b.catalog().relation(r).cardinality)
+          << TopologyName(t) << " R" << r;
+    }
+    for (int at = 0; at < a.catalog().num_attributes(); ++at) {
+      EXPECT_EQ(a.catalog().attribute(at).distinct,
+                b.catalog().attribute(at).distinct)
+          << TopologyName(t) << " attr " << at;
+    }
+    double prod_a = 1, prod_b = 1;
+    for (const QueryOp& op : a.ops()) prod_a *= op.selectivity;
+    for (const QueryOp& op : b.ops()) prod_b *= op.selectivity;
+    EXPECT_DOUBLE_EQ(prod_a, prod_b) << TopologyName(t);
+    EXPECT_EQ(a.group_by(), b.group_by()) << TopologyName(t);
+  }
+}
+
 TEST(QueryGenerator, GroupJoinsCarryAggregates) {
   GeneratorOptions gen;
   gen.num_relations = 6;
