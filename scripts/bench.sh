@@ -2,8 +2,8 @@
 # Perf-trajectory tracking: runs the perf-relevant benches
 # (bench_fig16_runtime, bench_complexity, bench_table2_tpch,
 # bench_large_queries, bench_parallel, bench_parallel_dp,
-# bench_plan_cache, bench_persistent_cache, bench_drift) with JSON
-# recording enabled
+# bench_plan_cache, bench_persistent_cache, bench_drift,
+# bench_server) with JSON recording enabled
 # and folds the results into BENCH_results.json at the
 # repo root. Folding merges by (suite, case, host): re-running replaces a
 # row's previous measurement from the same host instead of dropping the
@@ -39,7 +39,8 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j "$JOBS" \
   --target bench_fig16_runtime bench_complexity bench_table2_tpch \
            bench_large_queries bench_parallel bench_parallel_dp \
-           bench_plan_cache bench_persistent_cache bench_drift >/dev/null
+           bench_plan_cache bench_persistent_cache bench_drift \
+           bench_server >/dev/null
 
 JSONL="$(mktemp)"
 trap 'rm -f "$JSONL"' EXIT
@@ -72,6 +73,9 @@ EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_persistent_cache"
 echo
 echo "== bench_drift (re-plans avoided under a drifting Zipf stream) =="
 EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_drift"
+echo
+echo "== bench_server (loopback plan server; 1/4/8 Zipf connections) =="
+EADP_BENCH_JSON="$JSONL" "$BUILD_DIR/bench/bench_server"
 
 # Fold the JSONL records into BENCH_results.json ({"baseline": run,
 # "current": run}). Each record is stamped with the measuring host and

@@ -37,10 +37,11 @@ ANY_HOST = object()
 # threads=8 batch is ~flat on a 1-core recording host but ~4x faster on a
 # 4-core runner, which would deflate the host scale factor and push every
 # single-thread case toward the band edge. Gate only thread-independent
-# cases (threads=1 / workers=1 rows stay in). "threads=" names the
-# batch/race benches' pool size, "workers=" the intra-query parallel DP's
-# worker count (bench_parallel_dp, fig16 workers sweep).
-MULTITHREAD_CASE = re.compile(r"(?:threads|workers)=(\d+)")
+# cases (threads=1 / workers=1 / conns=1 rows stay in). "threads=" names
+# the batch/race benches' pool size, "workers=" the intra-query parallel
+# DP's worker count (bench_parallel_dp, fig16 workers sweep), "conns=" the
+# plan server's concurrent connection count (bench_server).
+MULTITHREAD_CASE = re.compile(r"(?:threads|workers|conns)=(\d+)")
 
 
 def core_count_sensitive(case):

@@ -29,12 +29,18 @@ if [ "${1:-}" = "replay" ]; then
   cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target mutation_fuzz_test
   EADP_FUZZ_REPLAY="$2" \
     "$BUILD_DIR"/tests/mutation_fuzz_test --gtest_filter='MutationFuzz.ReplayFromEnv'
-  exit $?
+  status=$?
+  # Corpus lines double as plan-server request specs: the same line can be
+  # replayed through the full wire protocol against a live server.
+  echo ""
+  echo "replay against a live plan server with:"
+  echo "  $BUILD_DIR/server/load_client --port <port> --replay '$2'"
+  exit $status
 fi
 
 BUILD_DIR="${1:-build}"
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target mutation_fuzz_test
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" --target mutation_fuzz_test server_fuzz_test
 REPRO_DIR="${EADP_FUZZ_REPRO_DIR:-$BUILD_DIR/fuzz-repro}"
 mkdir -p "$REPRO_DIR"
 cd "$BUILD_DIR"

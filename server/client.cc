@@ -1,0 +1,149 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "plangen/plan_serde.h"
+
+namespace eadp {
+
+std::unique_ptr<ClientConnection> ClientConnection::Connect(
+    const std::string& host, int port, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error) *error = "socket: " + std::string(strerror(errno));
+    return nullptr;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error) *error = "bad host: " + host;
+    ::close(fd);
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = "connect: " + std::string(strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  // The workload is strict request/response; Nagle only adds latency.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ClientConnection>(new ClientConnection(fd));
+}
+
+ClientConnection::~ClientConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ClientConnection::Send(Opcode opcode, std::string_view payload) {
+  return WriteFrame(fd_, opcode, payload);
+}
+
+bool ClientConnection::SendRaw(std::string_view bytes) {
+  size_t put = 0;
+  while (put < bytes.size()) {
+    ssize_t w =
+        ::send(fd_, bytes.data() + put, bytes.size() - put, MSG_NOSIGNAL);
+    if (w > 0) {
+      put += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+ReadStatus ClientConnection::Recv(Frame* frame, DecodeStatus* decode) {
+  return ReadFrame(fd_, kMaxFrameBytes, frame, decode);
+}
+
+bool ClientConnection::Roundtrip(Opcode opcode, std::string_view payload,
+                                 Opcode expected, std::string* reply,
+                                 ErrorResponse* err) {
+  *err = ErrorResponse{};
+  if (!Send(opcode, payload)) return false;
+  Frame frame;
+  DecodeStatus decode = DecodeStatus::kOk;
+  if (Recv(&frame, &decode) != ReadStatus::kOk ||
+      decode != DecodeStatus::kOk) {
+    return false;
+  }
+  if (frame.opcode == static_cast<uint8_t>(Opcode::kError)) {
+    DecodeError(frame.payload, err);
+    return false;
+  }
+  if (frame.opcode != static_cast<uint8_t>(expected)) return false;
+  if (reply) *reply = std::move(frame.payload);
+  return true;
+}
+
+bool ClientConnection::OpenSession(const std::string& name,
+                                   const PlannerKnobs& knobs,
+                                   ErrorResponse* err) {
+  OpenSessionRequest req{name, knobs};
+  return Roundtrip(Opcode::kOpenSession, EncodeOpenSession(req), Opcode::kOk,
+                   nullptr, err);
+}
+
+bool ClientConnection::CloseSession(const std::string& name,
+                                    ErrorResponse* err) {
+  std::string payload;
+  PutLengthPrefixed(&payload, name);
+  return Roundtrip(Opcode::kCloseSession, payload, Opcode::kOk, nullptr,
+                   err);
+}
+
+bool ClientConnection::SetStats(const SetStatsRequest& req,
+                                ErrorResponse* err) {
+  return Roundtrip(Opcode::kSetStats, EncodeSetStats(req), Opcode::kOk,
+                   nullptr, err);
+}
+
+bool ClientConnection::Optimize(const std::string& session,
+                                const std::string& spec_line,
+                                OptimizeResult* result,
+                                std::string* stats_json, ErrorResponse* err) {
+  OptimizeRequest req{session, spec_line};
+  std::string blob;
+  if (!Roundtrip(Opcode::kOptimize, EncodeOptimize(req), Opcode::kPlanBlob,
+                 &blob, err)) {
+    return false;
+  }
+  // The stats frame follows the blob unconditionally on the success path.
+  Frame frame;
+  DecodeStatus decode = DecodeStatus::kOk;
+  if (Recv(&frame, &decode) != ReadStatus::kOk ||
+      decode != DecodeStatus::kOk ||
+      frame.opcode != static_cast<uint8_t>(Opcode::kStatsJson)) {
+    return false;
+  }
+  if (stats_json) *stats_json = std::move(frame.payload);
+  if (result && !DecodePlan(blob, result)) return false;
+  return true;
+}
+
+bool ClientConnection::InvalidateCache(ErrorResponse* err) {
+  return Roundtrip(Opcode::kInvalidateCache, {}, Opcode::kOk, nullptr, err);
+}
+
+bool ClientConnection::StatsJson(const std::string& session,
+                                 std::string* json, ErrorResponse* err) {
+  std::string payload;
+  PutLengthPrefixed(&payload, session);
+  return Roundtrip(Opcode::kStats, payload, Opcode::kStatsJson, json, err);
+}
+
+bool ClientConnection::Shutdown(ErrorResponse* err) {
+  return Roundtrip(Opcode::kShutdown, {}, Opcode::kOk, nullptr, err);
+}
+
+}  // namespace eadp

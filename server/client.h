@@ -1,0 +1,76 @@
+// Client side of the plan-server protocol: a blocking TCP connection with
+// typed RPC helpers over the server/protocol.h frames.
+//
+// One ClientConnection is one protocol stream; helpers run one
+// request/response exchange each and surface server-side failures as the
+// decoded ErrorResponse (transport failures return false with
+// error.code == kNone). The raw Send/SendRaw/Recv layer stays public so
+// the hostile-frame tests and the fuzz sweep can speak malformed bytes
+// through the same socket plumbing the well-behaved helpers use.
+
+#ifndef EADP_SERVER_CLIENT_H_
+#define EADP_SERVER_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "plangen/plangen.h"
+#include "server/protocol.h"
+
+namespace eadp {
+
+class ClientConnection {
+ public:
+  /// Connects to host:port; null with *error set on failure.
+  static std::unique_ptr<ClientConnection> Connect(const std::string& host,
+                                                   int port,
+                                                   std::string* error);
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  // ---- Frame layer (hostile-input tests drive this directly) ----
+
+  bool Send(Opcode opcode, std::string_view payload);
+  /// Ships arbitrary bytes verbatim — torn frames, bad CRCs, garbage.
+  bool SendRaw(std::string_view bytes);
+  ReadStatus Recv(Frame* frame, DecodeStatus* decode);
+
+  // ---- RPC helpers (one exchange each) ----
+  // True on the expected success reply; false with *err filled from the
+  // server's error frame (or err->code == kNone on a transport failure).
+
+  bool OpenSession(const std::string& name, const PlannerKnobs& knobs,
+                   ErrorResponse* err);
+  bool CloseSession(const std::string& name, ErrorResponse* err);
+  bool SetStats(const SetStatsRequest& req, ErrorResponse* err);
+  /// On success fills the decoded plan (`*result`) and the server's stats
+  /// JSON; either out-param may be null.
+  bool Optimize(const std::string& session, const std::string& spec_line,
+                OptimizeResult* result, std::string* stats_json,
+                ErrorResponse* err);
+  bool InvalidateCache(ErrorResponse* err);
+  bool StatsJson(const std::string& session, std::string* json,
+                 ErrorResponse* err);
+  /// kShutdown: kOk reply, then the server stops serving.
+  bool Shutdown(ErrorResponse* err);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit ClientConnection(int fd) : fd_(fd) {}
+
+  /// Sends `opcode`+`payload`, reads one reply frame, dispatches: the
+  /// expected opcode returns true with the payload in *reply; an error
+  /// frame decodes into *err and returns false.
+  bool Roundtrip(Opcode opcode, std::string_view payload, Opcode expected,
+                 std::string* reply, ErrorResponse* err);
+
+  int fd_ = -1;
+};
+
+}  // namespace eadp
+
+#endif  // EADP_SERVER_CLIENT_H_

@@ -1,0 +1,253 @@
+#include "server/load_client.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "queries/mutation.h"
+#include "server/client.h"
+
+namespace eadp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0;
+  std::sort(values->begin(), values->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values->size()));
+  if (idx >= values->size()) idx = values->size() - 1;
+  return (*values)[idx];
+}
+
+/// Inverse-CDF Zipf(theta) over ranks [0, n): rank 0 is the hottest.
+class ZipfPicker {
+ public:
+  ZipfPicker(int n, double theta) : cdf_(static_cast<size_t>(n)) {
+    double total = 0;
+    for (int k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_[static_cast<size_t>(k)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  int Pick(Rng* rng) const {
+    double u = rng->UniformDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+bool ParseCacheHit(const std::string& stats_json) {
+  return stats_json.find("\"cache_hit\":true") != std::string::npos;
+}
+
+struct ConnOutcome {
+  uint64_t queries = 0;
+  uint64_t hits = 0;
+  uint64_t errors = 0;
+  uint64_t cost_mismatches = 0;
+  std::vector<double> latencies_ms;
+};
+
+}  // namespace
+
+std::string LoadSpecLine(int conn, int shape) {
+  CorpusEntry entry;
+  entry.seed.kind = "gen";
+  entry.seed.preset = "default";
+  // bench_plan_cache's mix: mostly small random trees with a chain-16 and
+  // a star-24 salted into every 8 shapes; seeds disjoint per connection
+  // so cross-session serves are detectable by cost mismatch.
+  if (shape % 8 == 7) {
+    bool chain = (shape / 8) % 2 == 0;
+    entry.seed.topology =
+        chain ? QueryTopology::kChain : QueryTopology::kStar;
+    entry.seed.num_relations = chain ? 16 : 24;
+  } else {
+    entry.seed.topology = QueryTopology::kRandomTree;
+    entry.seed.num_relations = 5 + shape % 6;
+  }
+  entry.seed.seed = 5000 + 1000 * static_cast<uint64_t>(conn) +
+                    static_cast<uint64_t>(shape);
+  return FormatCorpusEntry(entry);
+}
+
+LoadReport RunLoad(const LoadOptions& options, bool* ok) {
+  const int conns = std::max(1, options.connections);
+  std::vector<ConnOutcome> outcomes(static_cast<size_t>(conns));
+  std::vector<std::thread> threads;
+  std::atomic<int> connect_failures{0};
+  // Main thread participates: t0 is taken when every connection has
+  // finished its cold pass, so wall/qps cover only the warm phase.
+  std::barrier sync(conns + 1);
+
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      ConnOutcome& out = outcomes[static_cast<size_t>(c)];
+      std::string error;
+      auto conn = ClientConnection::Connect(options.host, options.port,
+                                            &error);
+      bool usable = conn != nullptr;
+      if (!usable) connect_failures.fetch_add(1);
+
+      // A session left over from a previous run against the same server
+      // (bench_server reps) is fine: same name, same deterministic knobs
+      // and working set, so kSessionExists is idempotent success.
+      const std::string session = "s" + std::to_string(c);
+      ErrorResponse err;
+      if (usable && !conn->OpenSession(session, options.knobs, &err) &&
+          err.code != ErrorCode::kSessionExists) {
+        ++out.errors;
+        usable = false;
+      }
+
+      std::vector<std::string> lines;
+      lines.reserve(static_cast<size_t>(options.shapes));
+      for (int s = 0; s < options.shapes; ++s) {
+        lines.push_back(LoadSpecLine(c, s));
+      }
+
+      // Cold pass: fill the cache and pin served costs against a local
+      // uncached reference run of the identical spec line.
+      if (usable) {
+        for (const std::string& line : lines) {
+          OptimizeResult served;
+          std::string stats_json;
+          if (!conn->Optimize(session, line, &served, &stats_json, &err)) {
+            ++out.errors;
+            continue;
+          }
+          if (options.verify_costs) {
+            CorpusEntry entry;
+            std::string perr;
+            if (!ParseCorpusEntry(line, &entry, &perr)) {
+              ++out.errors;
+              continue;
+            }
+            Query query = MaterializeSeed(entry.seed);
+            OptimizerOptions local;
+            static_cast<PlannerKnobs&>(local) = options.knobs;
+            OptimizeResult reference =
+                OptimizeAdaptiveUncached(query, local);
+            bool match =
+                (served.plan == nullptr) == (reference.plan == nullptr) &&
+                (served.plan == nullptr ||
+                 served.plan->cost == reference.plan->cost);
+            if (!match) ++out.cost_mismatches;
+          }
+        }
+      }
+
+      sync.arrive_and_wait();
+
+      // Warm pass: Zipf-popular repeats, measured per query.
+      if (usable) {
+        Rng rng(options.seed + static_cast<uint64_t>(c));
+        ZipfPicker zipf(options.shapes, options.zipf_theta);
+        out.latencies_ms.reserve(
+            static_cast<size_t>(options.queries_per_connection));
+        for (int q = 0; q < options.queries_per_connection; ++q) {
+          const std::string& line =
+              lines[static_cast<size_t>(zipf.Pick(&rng))];
+          std::string stats_json;
+          Clock::time_point t0 = Clock::now();
+          if (!conn->Optimize(session, line, nullptr, &stats_json, &err)) {
+            ++out.errors;
+            continue;
+          }
+          out.latencies_ms.push_back(MsBetween(t0, Clock::now()));
+          ++out.queries;
+          if (ParseCacheHit(stats_json)) ++out.hits;
+        }
+      }
+    });
+  }
+
+  sync.arrive_and_wait();
+  Clock::time_point warm_start = Clock::now();
+  for (std::thread& t : threads) t.join();
+  Clock::time_point warm_end = Clock::now();
+
+  LoadReport report;
+  report.connections = conns;
+  std::vector<double> all_latencies;
+  for (ConnOutcome& out : outcomes) {
+    report.queries += out.queries;
+    report.hits += out.hits;
+    report.errors += out.errors;
+    report.cost_mismatches += out.cost_mismatches;
+    all_latencies.insert(all_latencies.end(), out.latencies_ms.begin(),
+                         out.latencies_ms.end());
+  }
+  report.wall_ms = MsBetween(warm_start, warm_end);
+  report.p50_ms = Percentile(&all_latencies, 0.50);
+  report.p99_ms = Percentile(&all_latencies, 0.99);
+  report.qps = report.wall_ms > 0
+                   ? static_cast<double>(report.queries) /
+                         (report.wall_ms / 1000.0)
+                   : 0;
+  report.hit_rate = report.queries > 0
+                        ? static_cast<double>(report.hits) /
+                              static_cast<double>(report.queries)
+                        : 0;
+  if (ok) *ok = connect_failures.load() == 0;
+  return report;
+}
+
+std::string LoadReport::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"connections\":%d,\"queries\":%llu,\"hits\":%llu,"
+      "\"errors\":%llu,\"cost_mismatches\":%llu,\"p50_ms\":%.4f,"
+      "\"p99_ms\":%.4f,\"qps\":%.1f,\"wall_ms\":%.2f,\"hit_rate\":%.4f}",
+      connections, static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(cost_mismatches), p50_ms, p99_ms, qps,
+      wall_ms, hit_rate);
+  return buf;
+}
+
+bool RunReplay(const std::string& host, int port,
+               const std::string& spec_line) {
+  std::string error;
+  auto conn = ClientConnection::Connect(host, port, &error);
+  if (!conn) {
+    std::fprintf(stderr, "replay: %s\n", error.c_str());
+    return false;
+  }
+  ErrorResponse err;
+  if (!conn->OpenSession("replay", PlannerKnobs{}, &err) &&
+      err.code != ErrorCode::kSessionExists) {
+    std::fprintf(stderr, "replay: open session failed: %s (%s)\n",
+                 err.message.c_str(), ErrorCodeName(err.code));
+    return false;
+  }
+  std::string stats_json;
+  if (!conn->Optimize("replay", spec_line, nullptr, &stats_json, &err)) {
+    std::fprintf(stderr, "replay: optimize failed: %s (%s)\n",
+                 err.message.c_str(), ErrorCodeName(err.code));
+    return false;
+  }
+  std::printf("%s\n", stats_json.c_str());
+  return true;
+}
+
+}  // namespace eadp

@@ -1,0 +1,65 @@
+// load_client: seeded Zipf traffic against a plan server.
+//
+//   load_client --port P [--host H] [--connections N] [--queries N]
+//               [--shapes N] [--theta F] [--seed N] [--no-verify]
+//   load_client --port P --replay '<corpus line>'
+//
+// Load mode prints the LoadReport JSON and exits 0 when every exchange
+// succeeded AND every served cost matched its local reference. Replay
+// mode plans one corpus-entry line in a throwaway session and prints the
+// server's stats JSON — the scripts/fuzz.sh bridge.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/load_client.h"
+
+int main(int argc, char** argv) {
+  eadp::LoadOptions options;
+  std::string replay_line;
+  bool replay = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--connections") {
+      options.connections = std::atoi(next());
+    } else if (arg == "--queries") {
+      options.queries_per_connection = std::atoi(next());
+    } else if (arg == "--shapes") {
+      options.shapes = std::atoi(next());
+    } else if (arg == "--theta") {
+      options.zipf_theta = std::atof(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--no-verify") {
+      options.verify_costs = false;
+    } else if (arg == "--replay") {
+      replay = true;
+      replay_line = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (options.port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  if (replay) {
+    return eadp::RunReplay(options.host, options.port, replay_line) ? 0 : 1;
+  }
+
+  bool ok = false;
+  eadp::LoadReport report = eadp::RunLoad(options, &ok);
+  std::printf("%s\n", report.ToJson().c_str());
+  return (ok && report.errors == 0 && report.cost_mismatches == 0) ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// plan_server: stand-alone optimizer daemon.
+//
+//   plan_server [--host H] [--port P] [--pool-threads N]
+//               [--max-inflight N] [--cache-capacity N]
+//               [--persistent-dir DIR] [--drift-tolerance F]
+//               [--replan-threads N]
+//
+// Prints "listening on <port>" once ready (port 0 binds ephemerally — the
+// line is how scripts learn the kernel's pick) and serves until a client
+// sends kShutdown or the process is killed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/optimizer_service.h"
+#include "server/plan_server.h"
+
+int main(int argc, char** argv) {
+  eadp::ServiceOptions service_options;
+  eadp::PlanServerOptions server_options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--host") {
+      server_options.host = next();
+    } else if (arg == "--port") {
+      server_options.port = std::atoi(next());
+    } else if (arg == "--pool-threads") {
+      service_options.pool_threads = std::atoi(next());
+    } else if (arg == "--max-inflight") {
+      service_options.max_inflight = std::atoi(next());
+    } else if (arg == "--cache-capacity") {
+      service_options.cache_capacity =
+          static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--persistent-dir") {
+      service_options.persistent_dir = next();
+    } else if (arg == "--drift-tolerance") {
+      service_options.drift_tolerance = std::atof(next());
+    } else if (arg == "--replan-threads") {
+      service_options.replan_threads = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  eadp::OptimizerService service(service_options);
+  eadp::PlanServer server(&service, server_options);
+  std::string error;
+  if (!server.Listen(&error)) {
+    std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on %d\n", server.port());
+  std::fflush(stdout);
+  server.Serve();
+  server.Shutdown();
+  return 0;
+}

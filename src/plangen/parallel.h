@@ -71,12 +71,19 @@ struct BatchResult {
 /// query shapes within or across batches are then planned once and served
 /// from memory after — cost-identical to the cache-off run, pinned by
 /// plan_cache_concurrency_test.
+///
+/// \deprecated Thin shim over PlannerSession (plangen/session.h):
+/// equivalent to `PlannerSession(options).OptimizeBatch(queries,
+/// num_threads)`. Kept for source compatibility; new code should hold a
+/// PlannerSession.
 BatchResult OptimizeBatch(std::span<const Query> queries,
                           const OptimizerOptions& options, int num_threads);
 
 /// As above, on a caller-owned pool (reused across batches by a serving
 /// loop; the call still blocks until the whole batch is planned). A null
 /// pool runs sequentially.
+///
+/// \deprecated Shim over PlannerSession::OptimizeBatch, as above.
 BatchResult OptimizeBatch(std::span<const Query> queries,
                           const OptimizerOptions& options, ThreadPool* pool);
 
@@ -96,9 +103,19 @@ BatchResult OptimizeBatch(std::span<const Query> queries,
 /// has fewer than 2 threads (matching the batch entry point's sequential
 /// reference path). Queries at or below the exact-DP threshold route to
 /// the exact enumeration unchanged — there is no race to parallelize.
+/// \deprecated Thin shim over PlannerSession (plangen/session.h):
+/// equivalent to `PlannerSession(options).OptimizeConcurrent(query,
+/// pool)`, including the cache probe. Kept for source compatibility.
 OptimizeResult OptimizeAdaptiveConcurrent(const Query& query,
                                           const OptimizerOptions& options,
                                           ThreadPool* pool);
+
+/// The cache-oblivious core of the concurrent race: exactly
+/// OptimizeAdaptiveConcurrent minus the cache probe (any cache pointers
+/// in `options` are ignored). This is the `plan_fresh` callback
+/// PlannerSession::OptimizeConcurrent hands to the shared probe path.
+OptimizeResult OptimizeAdaptiveConcurrentUncached(
+    const Query& query, const OptimizerOptions& options, ThreadPool* pool);
 
 }  // namespace eadp
 

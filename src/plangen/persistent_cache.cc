@@ -394,16 +394,21 @@ bool PersistentPlanCache::Get(const QueryFingerprint& fp,
     }
   }
   // I/O and decode run without the lock: records are immutable, fds stay
-  // open and maps stay mapped for the cache's lifetime.
-  auto read_at = [](const Candidate& c, uint64_t offset, char* dst,
-                    size_t n) {
+  // open and maps stay mapped for the cache's lifetime. `used_pread`
+  // latches when any byte of the current candidate came through the pread
+  // fallback — the serve-path attribution behind mmap_serves/pread_serves.
+  bool used_pread = false;
+  auto read_at = [&used_pread](const Candidate& c, uint64_t offset, char* dst,
+                               size_t n) {
     if (c.map != nullptr && offset + n <= c.map_len) {
       std::memcpy(dst, c.map + offset, n);
       return true;
     }
+    used_pread = true;
     return ReadExact(c.fd, offset, dst, n);
   };
   for (const Candidate& c : candidates) {
+    used_pread = false;
     std::string key(c.key_len, '\0');
     if (!read_at(c, c.offset + kRecordHeaderBytes, key.data(), c.key_len) ||
         key != fp.canonical) {
@@ -422,6 +427,11 @@ bool PersistentPlanCache::Get(const QueryFingerprint& fp,
         DecodePlan(blob, &decoded)) {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.hits;
+      if (used_pread) {
+        ++stats_.pread_serves;
+      } else {
+        ++stats_.mmap_serves;
+      }
       if (overlay != nullptr) *overlay = std::move(parsed);
       *out = std::move(decoded);
       return true;
@@ -660,6 +670,8 @@ std::string CacheTierStatsToJson(const PlanCache* l1,
     field(&out, "records", s.records);
     field(&out, "segments", s.segments);
     field(&out, "mmap_segments", s.mmap_segments);
+    field(&out, "mmap_serves", s.mmap_serves);
+    field(&out, "pread_serves", s.pread_serves);
     field(&out, "bytes_on_disk", s.bytes_on_disk);
     out += '}';
   } else {

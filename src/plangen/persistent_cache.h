@@ -117,6 +117,14 @@ struct PersistentCacheStats {
   size_t segments = 0;       ///< segment files attached (incl. skipped)
   size_t mmap_segments = 0;  ///< sealed segments served via mmap
   size_t bytes_on_disk = 0;  ///< sum of attached segment file sizes
+  /// Which read path served each hit: a hit whose record bytes all came
+  /// from a mapped sealed segment counts as mmap_serves; any hit that
+  /// touched the pread fallback (active segment, failed map, or a record
+  /// straddling the mapped prefix) counts as pread_serves. The two sum to
+  /// `hits`. Warm reopened caches serve via mmap (Open maps every sealed
+  /// segment; pinned by persistent_cache_test).
+  uint64_t mmap_serves = 0;
+  uint64_t pread_serves = 0;
 
   double HitRate() const {
     uint64_t probes = hits + misses;

@@ -15,49 +15,45 @@ namespace eadp {
 
 namespace {
 
-/// Extends a query fingerprint with every OptimizerOptions knob that
-/// steers planning, so one cache can serve mixed configurations without
-/// ever crossing them: the same query planned under kEaPrune and under a
-/// pruning ablation (or another idp_block_size, tolerance, ...) gets two
-/// distinct entries. plan_cache itself is deliberately excluded — the
-/// cache's identity must not depend on which cache is probed. Appends
-/// bytes only, through the same CanonicalWriter the query half uses (the
-/// two halves of a cache key must never desynchronize their encodings);
-/// the caller hashes the finished canonical form once.
-void FoldOptionsIntoFingerprint(const OptimizerOptions& options,
+/// Extends a query fingerprint with the complete PlannerKnobs — every
+/// field, no exclusion list — so one cache can serve mixed configurations
+/// without ever crossing them: the same query planned under kEaPrune and
+/// under a pruning ablation (or another idp_block_size, tolerance, ...)
+/// gets two distinct entries. Execution context (cache pointers, pools,
+/// drift_tolerance) never reaches this function at all: the knobs/context
+/// split in plangen.h puts it in PlannerContext, which the key does not
+/// consume — the per-knob "excluded from the key" special-casing this
+/// function used to carry is now a type-level property. Appends bytes
+/// only, through the same CanonicalWriter the query half uses (the two
+/// halves of a cache key must never desynchronize their encodings); the
+/// caller hashes the finished canonical form once.
+void FoldOptionsIntoFingerprint(const PlannerKnobs& knobs,
                                 QueryFingerprint* fp) {
-  // Tripwire: adding a field to OptimizerOptions changes its size and
-  // fails this assert. If the new field steers planning, fold it below
-  // (a missed knob would silently cross-serve plans between
-  // configurations); either way, update the expected size deliberately.
-  // (88 = the 72 bytes of PR 8 plus drift_tolerance and replan_pool.
-  // Both are excluded from the key: they steer *serving* of an already
-  // planned entry, never the plan that gets built, so folding them would
-  // needlessly split entries between tolerance configurations.
-  // persistent_cache/plan_cache/dp_pool stay excluded as before — both
-  // tiers must agree on one key for promotion to be coherent.)
-  static_assert(sizeof(OptimizerOptions) == 88,
-                "OptimizerOptions changed: fold any new planning-relevant "
-                "knob into the cache key below, then update this size");
+  // Tripwire: adding a field to PlannerKnobs changes its size and fails
+  // this assert. Every knob is plan identity by definition of the struct
+  // (execution context belongs in PlannerContext instead), so the fix is
+  // always: fold the new field below, then update the expected size.
+  static_assert(sizeof(PlannerKnobs) == 48,
+                "PlannerKnobs changed: fold the new knob into the cache "
+                "key below, then update this size");
   CanonicalWriter w(&fp->canonical);
   w.U8(0xfe);  // options-block marker (query serializations start fields
                // right after the version byte; this delimits the suffix)
-  w.U8(static_cast<uint8_t>(options.algorithm));
-  w.F64(options.h2_tolerance);
-  w.U8(options.builder.top_grouping_elimination ? 1 : 0);
-  w.U8(options.builder.track_fds ? 1 : 0);
-  w.U8(options.prune_without_keys ? 1 : 0);
-  w.U8(options.prune_without_cardinality ? 1 : 0);
-  w.U8(options.full_fd_dominance ? 1 : 0);
-  w.I32(options.adaptive_exact_relations);
-  w.I32(options.idp_block_size);
-  w.U8(static_cast<uint8_t>(options.idp_inner));
-  w.I32(options.goo_merge_budget);
+  w.U8(static_cast<uint8_t>(knobs.algorithm));
+  w.F64(knobs.h2_tolerance);
+  w.U8(knobs.builder.top_grouping_elimination ? 1 : 0);
+  w.U8(knobs.builder.track_fds ? 1 : 0);
+  w.U8(knobs.prune_without_keys ? 1 : 0);
+  w.U8(knobs.prune_without_cardinality ? 1 : 0);
+  w.U8(knobs.full_fd_dominance ? 1 : 0);
+  w.I32(knobs.adaptive_exact_relations);
+  w.I32(knobs.idp_block_size);
+  w.U8(static_cast<uint8_t>(knobs.idp_inner));
+  w.I32(knobs.goo_merge_budget);
   // dp_threads is folded even though parallel plans are cost-identical to
   // sequential ones: generated-column names differ per worker count, so
-  // cross-serving would surprise anything reading plan internals. dp_pool
-  // is excluded like plan_cache itself — execution context, not identity.
-  w.I32(options.dp_threads);
+  // cross-serving would surprise anything reading plan internals.
+  w.I32(knobs.dp_threads);
 }
 
 }  // namespace
@@ -221,20 +217,20 @@ size_t PlanCache::size() const {
 }
 
 QueryFingerprint PlanCacheKey(const Query& query,
-                              const OptimizerOptions& options) {
+                              const PlannerKnobs& knobs) {
   QueryFingerprint fp = FingerprintQueryUnhashed(query);
-  FoldOptionsIntoFingerprint(options, &fp);
+  FoldOptionsIntoFingerprint(knobs, &fp);
   RehashFingerprint(&fp);
   return fp;
 }
 
 PlanCacheSplitKey PlanCacheKeySplit(const Query& query,
-                                    const OptimizerOptions& options) {
+                                    const PlannerKnobs& knobs) {
   PlanCacheSplitKey key;
   SplitFingerprint split = FingerprintQuerySplitUnhashed(query);
   key.structural = std::move(split.structural);
   key.overlay = std::move(split.overlay);
-  FoldOptionsIntoFingerprint(options, &key.structural);
+  FoldOptionsIntoFingerprint(knobs, &key.structural);
   RehashFingerprint(&key.structural);
   return key;
 }

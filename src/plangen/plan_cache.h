@@ -229,16 +229,18 @@ class PlanCache {
 };
 
 /// The exact fingerprint OptimizeThroughCache keys its probes with: the
-/// canonical query serialization plus the planning-relevant
-/// OptimizerOptions knobs, hashed once. Exposed so test drivers (the
-/// mutation fuzzer's cache-cross-serving oracle) can probe and reason
-/// about the cache with the production key rather than re-deriving it.
-QueryFingerprint PlanCacheKey(const Query& query,
-                              const OptimizerOptions& options);
+/// canonical query serialization plus the complete PlannerKnobs (the
+/// plan-identity half of the configuration; an OptimizerOptions binds
+/// directly via its base). Execution context (PlannerContext) is not a
+/// parameter — by construction the key cannot depend on cache pointers,
+/// pools, or serving policy. Exposed so test drivers (the mutation
+/// fuzzer's cache-cross-serving oracle) can probe and reason about the
+/// cache with the production key rather than re-deriving it.
+QueryFingerprint PlanCacheKey(const Query& query, const PlannerKnobs& knobs);
 
 /// The two-layer cache key: `structural` is the stats-insensitive
-/// fingerprint with the planning-relevant options knobs folded in (what
-/// the drift-aware facade keys entries on), `overlay` carries the current
+/// fingerprint with the complete PlannerKnobs folded in (what the
+/// drift-aware facade keys entries on), `overlay` carries the current
 /// statistics separately. ComposeFingerprint(key) reproduces the byte
 /// content of PlanCacheKey up to layer ordering — the two are distinct
 /// key spaces and must not be mixed within one cache.
@@ -247,10 +249,13 @@ struct PlanCacheSplitKey {
   StatsOverlay overlay;
 };
 PlanCacheSplitKey PlanCacheKeySplit(const Query& query,
-                                    const OptimizerOptions& options);
+                                    const PlannerKnobs& knobs);
 
-/// The probe/populate wrapper shared by every cache-aware facade entry
-/// point (OptimizeAdaptive, OptimizeAdaptiveConcurrent): fingerprints the
+/// The probe/populate wrapper behind every cache-aware facade entry point.
+/// Since the session redesign the sole caller is
+/// PlannerSession::OptimizeImpl (plangen/session.h) — the free functions
+/// OptimizeAdaptive / OptimizeAdaptiveConcurrent / OptimizeBatch reach it
+/// through their session shims. Fingerprints the
 /// query *and the planning-relevant OptimizerOptions knobs* (one cache
 /// can serve mixed configurations — the same query under different
 /// algorithms/ablations/knobs occupies distinct entries and is never

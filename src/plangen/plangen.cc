@@ -13,6 +13,7 @@
 #include "plangen/large_query.h"
 #include "plangen/parallel_dp.h"
 #include "plangen/plan_cache.h"
+#include "plangen/session.h"
 
 namespace eadp {
 
@@ -149,9 +150,14 @@ OptimizeResult Optimize(const Query& query, const OptimizerOptions& options) {
 
 OptimizeResult OptimizeAdaptive(const Query& query,
                                 const OptimizerOptions& options) {
-  if (options.plan_cache != nullptr || options.persistent_cache != nullptr) {
-    return OptimizeThroughCache(query, options, &OptimizeAdaptive);
-  }
+  // Shim (see plangen.h): the session's OptimizeImpl is the one cache
+  // probe/populate path; a transient session over `options` reproduces the
+  // pre-session behavior exactly.
+  return PlannerSession(options).Optimize(query);
+}
+
+OptimizeResult OptimizeAdaptiveUncached(const Query& query,
+                                        const OptimizerOptions& options) {
   if (query.NumRelations() <= options.adaptive_exact_relations) {
     OptimizerOptions exact = options;
     if (!IsExhaustive(exact.algorithm)) exact.algorithm = Algorithm::kEaPrune;

@@ -73,7 +73,16 @@ inline bool IsExhaustive(Algorithm a) {
   return a != Algorithm::kGoo && a != Algorithm::kIdp;
 }
 
-struct OptimizerOptions {
+/// The plan-identity half of the optimizer configuration: every knob that
+/// steers WHICH plan gets built. This is exactly the set the plan-cache
+/// key folds in (plan_cache.h's FoldOptionsIntoFingerprint consumes a
+/// PlannerKnobs and folds every field — no per-knob exclusion list): two
+/// configurations with equal PlannerKnobs may share cache entries, two
+/// with different knobs never do. Execution context (pools, cache
+/// pointers, serving policy) lives in PlannerContext instead, so adding a
+/// context field can never silently cross-serve plans between
+/// configurations.
+struct PlannerKnobs {
   Algorithm algorithm = Algorithm::kEaPrune;
   /// Tolerance factor F of CompareAdjustedCosts (H2 only).
   double h2_tolerance = 1.03;
@@ -116,6 +125,31 @@ struct OptimizerOptions {
   /// state through the very same branch.
   int goo_merge_budget = -1;
 
+  // ---- Intra-query parallel DP (plangen/parallel_dp.h) ----
+
+  /// DP workers for one exhaustive enumeration (and for kIdp's bounded
+  /// subproblems): csg-cmp-pairs are processed level-by-level over the
+  /// subset size |S1 ∪ S2|, spread across this many workers within each
+  /// level. 1 (the default) runs the plain sequential DP loop — small
+  /// queries pay nothing. Any worker count produces plans cost-identical
+  /// to the sequential run (bit-identical DP-table contents by
+  /// construction; pinned by parallel_dp_test). Folded into the plan-cache
+  /// fingerprint even though parallel plans are cost-identical: generated
+  /// column names differ per worker count, so cross-serving would surprise
+  /// anything reading plan internals. The pool the workers run on is
+  /// execution context (PlannerContext::dp_pool), not plan identity.
+  int dp_threads = 1;
+};
+
+/// The execution-context half of the optimizer configuration: where the
+/// planning runs and which caches serve it — never WHICH plan gets built.
+/// Nothing in here is folded into the plan-cache key (the cache's identity
+/// must not depend on which cache is probed or which pool plans), which is
+/// structural now: the key derives from PlannerKnobs alone, so there is no
+/// per-field exclusion list to maintain. In the session API
+/// (plangen/session.h) this is the state a PlannerSession owns for its
+/// lifetime while per-call knobs travel in PlannerKnobs.
+struct PlannerContext {
   // ---- Cross-query plan cache (plangen/plan_cache.h) ----
 
   /// When set, the facade entry points (OptimizeAdaptive, OptimizeBatch,
@@ -141,22 +175,10 @@ struct OptimizerOptions {
   /// optimization calls.
   PersistentPlanCache* persistent_cache = nullptr;
 
-  // ---- Intra-query parallel DP (plangen/parallel_dp.h) ----
-
-  /// DP workers for one exhaustive enumeration (and for kIdp's bounded
-  /// subproblems): csg-cmp-pairs are processed level-by-level over the
-  /// subset size |S1 ∪ S2|, spread across this many workers within each
-  /// level. 1 (the default) runs the plain sequential DP loop — small
-  /// queries pay nothing. Any worker count produces plans cost-identical
-  /// to the sequential run (bit-identical DP-table contents by
-  /// construction; pinned by parallel_dp_test). Folded into the plan-cache
-  /// fingerprint only via this knob — `dp_pool` is execution context, not
-  /// plan-relevant.
-  int dp_threads = 1;
   /// Pool the extra DP workers run on (worker 0 is the calling thread, so
-  /// dp_threads W needs W-1 pool slots). Borrowed, not owned; may be
-  /// shared with the batch/race entry points. When null and dp_threads >
-  /// 1, Optimize spins up a transient pool for the run.
+  /// PlannerKnobs::dp_threads W needs W-1 pool slots). Borrowed, not
+  /// owned; may be shared with the batch/race entry points. When null and
+  /// dp_threads > 1, Optimize spins up a transient pool for the run.
   ThreadPool* dp_pool = nullptr;
 
   // ---- Incremental re-optimization under statistics drift ----
@@ -180,6 +202,15 @@ struct OptimizerOptions {
   /// Borrowed, not owned; destroy the pool BEFORE the caches it refreshes.
   ThreadPool* replan_pool = nullptr;
 };
+
+/// The flat options bag the free-function facade takes: knobs and context
+/// in one aggregate (C++17 aggregates-with-bases, so `OptimizerOptions o;
+/// o.algorithm = ...; o.plan_cache = ...;` keeps working unchanged across
+/// the split). New code should prefer PlannerSession (plangen/session.h),
+/// which holds the context for its lifetime and exposes the knobs/context
+/// halves explicitly; the split exists so cache-key code can consume
+/// exactly the identity half by slicing to the PlannerKnobs base.
+struct OptimizerOptions : PlannerKnobs, PlannerContext {};
 
 /// Builder options as the generators actually instantiate them: the
 /// full-FD dominance ablation needs FD sets tracked on every node. Used by
@@ -257,8 +288,24 @@ OptimizeResult Optimize(const Query& query, const OptimizerOptions& options);
 /// the always-terminating fallback when kIdp cannot combine).
 /// `result.stats.algorithm` records the strategy that won; its counters
 /// and optimize_ms cover both runs.
+///
+/// \deprecated Thin shim over PlannerSession (plangen/session.h):
+/// equivalent to `PlannerSession(options).Optimize(query)`, including the
+/// cache probe when options carries cache pointers. Kept so existing
+/// call sites and tests stay source-compatible; new code should hold a
+/// PlannerSession.
 OptimizeResult OptimizeAdaptive(const Query& query,
                                 const OptimizerOptions& options);
+
+/// The cache-oblivious core of the adaptive facade: exactly
+/// OptimizeAdaptive minus the cache probe — any cache/replan pointers in
+/// `options` are ignored, the query is always planned. This is the
+/// `plan_fresh` callback PlannerSession::OptimizeImpl hands to
+/// OptimizeThroughCache (the one probe/populate path); exposed so other
+/// uncached callers (background re-plans, differential references) can
+/// name the planning step without shedding the context fields first.
+OptimizeResult OptimizeAdaptiveUncached(const Query& query,
+                                        const OptimizerOptions& options);
 
 /// Merges the two completed large-query race results into the facade's
 /// result: the cheaper plan wins (kIdp on cost ties, matching the

@@ -288,6 +288,41 @@ TEST(PersistentCache, SegmentRollover) {
   for (const PlannedQuery& p : planned) ExpectServes(reopened.get(), p);
 }
 
+TEST(PersistentCache, WarmGetsServeViaMmap) {
+  TempDir dir;
+  PersistentCacheOptions opts;
+  opts.directory = dir.path();
+  opts.write_behind = false;
+  opts.max_segment_bytes = 1;  // every record rolls into its own segment
+
+  std::vector<PlannedQuery> planned;
+  for (int i = 0; i < 5; ++i) planned.push_back(PlanNth(i));
+  {
+    auto cache = OpenOrDie(opts);
+    for (const PlannedQuery& p : planned) cache->Put(p.fp, p.result);
+    // Rollover seals (and maps) every segment but the active one, so the
+    // first warm pass already serves the sealed records from the mapping.
+    for (const PlannedQuery& p : planned) ExpectServes(cache.get(), p);
+    PersistentCacheStats s = cache->Snapshot();
+    EXPECT_EQ(s.mmap_serves + s.pread_serves, s.hits);
+    EXPECT_GE(s.mmap_serves, 4u);  // all but the still-active tail segment
+  }
+
+  // Reopen: every full segment is sealed history, mapped by Open — a warm
+  // restarted process serves *exclusively* via the mmap read path.
+  auto reopened = OpenOrDie(opts);
+  for (const PlannedQuery& p : planned) ExpectServes(reopened.get(), p);
+  PersistentCacheStats s = reopened->Snapshot();
+  EXPECT_EQ(s.hits, 5u);
+  EXPECT_EQ(s.mmap_serves, 5u);
+  EXPECT_EQ(s.pread_serves, 0u);
+
+  // The serve-path split is visible to the serving layer's stats JSON.
+  std::string json = CacheTierStatsToJson(nullptr, reopened.get());
+  EXPECT_NE(json.find("\"mmap_serves\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pread_serves\":0"), std::string::npos) << json;
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection.
 // ---------------------------------------------------------------------------
